@@ -1,0 +1,65 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark reproduces one table, figure or described test goal of the
+paper (see DESIGN.md for the experiment index).  The campaigns are scaled to
+synthetic datasets so the whole harness runs in minutes on a laptop, but the
+parameters (fault model, bit ranges, injection policy, KPIs) match the paper.
+
+Each benchmark both *times* the campaign (pytest-benchmark) and *reports* the
+reproduced rows/series: the tables are printed and written to
+``benchmarks/results/<experiment>.txt`` so they can be compared against the
+values quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.models import alexnet, resnet50, vgg16
+from repro.models.pretrained import fit_classifier_head
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Campaign sizes: large enough for stable rates, small enough for minutes.
+CLASSIFICATION_IMAGES = 40
+DETECTION_IMAGES = 15
+NUM_CLASSES = 10
+DET_CLASSES = 5
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    banner = f"\n=== {experiment_id} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def classification_dataset() -> SyntheticClassificationDataset:
+    """Shared synthetic classification dataset (ImageNet stand-in)."""
+    return SyntheticClassificationDataset(
+        num_samples=CLASSIFICATION_IMAGES, num_classes=NUM_CLASSES, noise=0.25, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def detection_dataset() -> CocoLikeDetectionDataset:
+    """Shared synthetic CoCo-style detection dataset."""
+    return CocoLikeDetectionDataset(
+        num_samples=DETECTION_IMAGES, num_classes=DET_CLASSES, seed=13
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_classifiers(classification_dataset):
+    """The three classification models of Fig. 2a with fitted heads."""
+    models = {}
+    for name, factory in (("alexnet", alexnet), ("vgg16", vgg16), ("resnet50", resnet50)):
+        model = factory(num_classes=NUM_CLASSES, seed=3)
+        fit_classifier_head(model, classification_dataset, NUM_CLASSES)
+        models[name] = model
+    return models

@@ -1,0 +1,92 @@
+"""Ablation ``architectures`` — use case: comparing the robustness of different NN types.
+
+Runs the same single-weight-fault exponent-bit campaign against structurally
+different classifier families (classic conv+FC LeNet, deep VGG-style,
+residual ResNet-style, depthwise-separable MobileNet-style) and compares
+their masked / SDE / DUE profiles under identical campaign parameters — the
+"comparing the robustness of different types of NN" use case of Section V.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate, top_k_accuracy
+from repro.models import lenet5, mobilenet_lite, resnet18, vgg11
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import comparison_table
+
+IMAGES = 20
+
+ARCHITECTURES = {
+    "lenet5 (conv+fc)": lenet5,
+    "vgg11 (deep conv)": vgg11,
+    "resnet18 (residual)": resnet18,
+    "mobilenet (depthwise)": mobilenet_lite,
+}
+
+
+def _run_architecture_comparison() -> list[dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=63)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    labels = np.asarray([dataset[i][1] for i in range(IMAGES)])
+    rows = []
+    for name, factory in ARCHITECTURES.items():
+        model = fit_classifier_head(factory(num_classes=10, seed=14), dataset, 10)
+        golden = model(images)
+        scenario = default_scenario(
+            dataset_size=IMAGES,
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(23, 30),
+            random_seed=91,
+            batch_size=1,
+        )
+        wrapper = ptfiwrap(model, scenario=scenario)
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted = []
+        for index in range(IMAGES):
+            corrupted_model = next(fault_iter)
+            corrupted.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted))
+        rows.append(
+            {
+                "architecture": name,
+                "params": wrapper.fault_injection.original_model.num_parameters(),
+                "injectable layers": wrapper.fault_injection.num_layers,
+                "golden top-1": top_k_accuracy(golden, labels, k=1),
+                "masked": rates["masked"],
+                "SDE": rates["sde"],
+                "DUE": rates["due"],
+            }
+        )
+    return rows
+
+
+def test_ablation_architecture_comparison(benchmark):
+    rows = benchmark.pedantic(_run_architecture_comparison, rounds=1, iterations=1)
+
+    assert len(rows) == len(ARCHITECTURES)
+    for row in rows:
+        # Every architecture must be a usable classifier before injection...
+        assert row["golden top-1"] >= 0.8
+        # ...and its outcome taxonomy must be complete.
+        assert row["masked"] + row["SDE"] + row["DUE"] == 1.0
+    # Masking dominates for single weight faults across every family.
+    assert min(row["masked"] for row in rows) >= 0.5
+    # The families genuinely differ in structure (layer counts span a range).
+    layer_counts = [row["injectable layers"] for row in rows]
+    assert max(layer_counts) > 2 * min(layer_counts)
+
+    report(
+        "ablation_architectures",
+        comparison_table(
+            rows,
+            ["architecture", "params", "injectable layers", "golden top-1", "masked", "SDE", "DUE"],
+            title=(
+                "Robustness comparison across NN families under identical campaigns "
+                f"(single weight fault/image, exponent bits, {IMAGES} images)"
+            ),
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Ablation ``dtype`` — use case: evaluating the vulnerability of different numeric types.
+
+Section V of the paper lists "evaluating the vulnerability of different
+numeric types" as a PyTorchALFI use case, and the introduction argues that
+the numeric type determines how many bits are vulnerable (a 16-bit model has
+half the bits of a 32-bit one, but a larger fraction of them are exponent
+bits).  This ablation runs the same weight-fault campaign with float32 and
+float16 quantization of the corrupted values and compares the resulting
+corruption rates, overall and restricted to the exponent field.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.tensor import dtype_info
+from repro.visualization import comparison_table
+
+IMAGES = 25
+
+
+def _campaign(model, images, golden, quantization: str, bit_range, seed: int) -> float:
+    scenario = default_scenario(
+        dataset_size=IMAGES,
+        injection_target="weights",
+        rnd_value_type="bitflip",
+        quantization=quantization,
+        rnd_bit_range=bit_range,
+        random_seed=seed,
+        batch_size=1,
+    )
+    wrapper = ptfiwrap(model, scenario=scenario)
+    fault_iter = wrapper.get_fimodel_iter()
+    corrupted = []
+    for index in range(IMAGES):
+        corrupted_model = next(fault_iter)
+        corrupted.append(corrupted_model(images[index : index + 1])[0])
+    rates = sde_rate(golden, np.stack(corrupted))
+    return rates["sde"] + rates["due"]
+
+
+def _run_dtype_ablation() -> list[dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=61)
+    model = fit_classifier_head(lenet5(seed=12), dataset, 10)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    golden = model(images)
+
+    rows = []
+    for quantization in ("float32", "float16"):
+        info = dtype_info(quantization)
+        any_bit = _campaign(model, images, golden, quantization, (0, info.bits - 1), seed=71)
+        exponent_only = _campaign(model, images, golden, quantization, info.exponent_range, seed=72)
+        rows.append(
+            {
+                "quantization": quantization,
+                "bits": info.bits,
+                "exponent bits": info.exponent_bits,
+                "corrupted (any bit)": any_bit,
+                "corrupted (exponent bits)": exponent_only,
+            }
+        )
+    return rows
+
+
+def test_ablation_numeric_type_vulnerability(benchmark):
+    rows = benchmark.pedantic(_run_dtype_ablation, rounds=1, iterations=1)
+    by_dtype = {row["quantization"]: row for row in rows}
+
+    for row in rows:
+        # Restricting faults to the exponent field concentrates the damage:
+        # the exponent-only rate is never lower than the any-bit rate.
+        assert row["corrupted (exponent bits)"] >= row["corrupted (any bit)"] - 1e-9
+        assert 0.0 <= row["corrupted (any bit)"] <= 1.0
+    # Both numeric types are exercised with their full bit width.
+    assert by_dtype["float32"]["bits"] == 32
+    assert by_dtype["float16"]["bits"] == 16
+
+    report(
+        "ablation_numeric_types",
+        comparison_table(
+            rows,
+            ["quantization", "bits", "exponent bits", "corrupted (any bit)", "corrupted (exponent bits)"],
+            title=f"Numeric type vulnerability (LeNet-5 weights, {IMAGES} images per configuration)",
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Ablation ``pruning`` — use case: original model vs pruned version.
+
+Section V of the paper lists "compare the robustness of NN between the
+original model and a pruned version" as a PyTorchALFI use case.  This
+ablation prunes 50 % / 80 % of the smallest weights of a fitted classifier,
+replays the *identical* stored fault matrix against the original and the
+pruned variants (possible because pruning preserves the layer structure),
+and compares fault-free accuracy and corruption rates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate, top_k_accuracy
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.models.pruning import prune_by_magnitude, sparsity
+from repro.visualization import comparison_table
+
+IMAGES = 25
+
+
+def _run_pruning_ablation() -> list[dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=62)
+    model = fit_classifier_head(lenet5(seed=13), dataset, 10)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    labels = np.asarray([dataset[i][1] for i in range(IMAGES)])
+
+    scenario = default_scenario(
+        dataset_size=IMAGES,
+        injection_target="weights",
+        rnd_value_type="bitflip",
+        rnd_bit_range=(23, 30),
+        random_seed=81,
+        batch_size=1,
+    )
+    base_wrapper = ptfiwrap(model, scenario=scenario)
+    fault_matrix = base_wrapper.get_fault_matrix()
+
+    rows = []
+    for amount in (0.0, 0.5, 0.8):
+        if amount == 0.0:
+            variant = model
+        else:
+            # Prune, then re-fit the classifier head on the calibration data —
+            # the stand-in for the fine-tuning step that normally follows
+            # magnitude pruning.
+            variant = prune_by_magnitude(model, amount)
+            fit_classifier_head(variant, dataset, 10)
+        wrapper = ptfiwrap(variant, scenario=scenario)
+        wrapper.set_fault_matrix(fault_matrix)  # identical faults for every variant
+        golden = variant(images)
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted = []
+        for index in range(IMAGES):
+            corrupted_model = next(fault_iter)
+            corrupted.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted))
+        rows.append(
+            {
+                "variant": f"pruned {amount:.0%}" if amount else "original",
+                "sparsity": sparsity(variant),
+                "golden top-1": top_k_accuracy(golden, labels, k=1),
+                "masked": rates["masked"],
+                "corrupted (SDE+DUE)": rates["sde"] + rates["due"],
+            }
+        )
+    return rows
+
+
+def test_ablation_pruned_vs_original_robustness(benchmark):
+    rows = benchmark.pedantic(_run_pruning_ablation, rounds=1, iterations=1)
+
+    assert rows[0]["variant"] == "original"
+    assert rows[0]["sparsity"] < 0.05
+    assert rows[1]["sparsity"] > 0.4 and rows[2]["sparsity"] > 0.7
+    # Moderate pruning must not destroy the fault-free accuracy of the fitted model.
+    assert rows[1]["golden top-1"] >= 0.7
+    for row in rows:
+        assert 0.0 <= row["corrupted (SDE+DUE)"] <= 1.0
+        assert row["masked"] + row["corrupted (SDE+DUE)"] == 1.0
+
+    report(
+        "ablation_pruned_model",
+        comparison_table(
+            rows,
+            ["variant", "sparsity", "golden top-1", "masked", "corrupted (SDE+DUE)"],
+            title=(
+                "Original vs pruned model under identical weight faults "
+                f"(LeNet-5, exponent bits, {IMAGES} images, same fault file)"
+            ),
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Experiment ``eq1`` — Eq. 1: layer selection weighted by relative layer size.
+
+Draws a large number of fault locations for VGG-16 and ResNet-50 and compares
+the empirical layer-hit frequency against the analytic weight factors
+``F_i = prod_j d_ij / sum_i prod_j d_ij`` of Eq. 1, for both weight and
+neuron targets.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import layer_weight_factors, weighted_layer_choice
+from repro.alficore.layerweights import layer_sizes_for_target
+from repro.models import resnet50, vgg16
+from repro.pytorchfi import FaultInjection
+from repro.visualization import comparison_table
+
+DRAWS = 20_000
+
+
+def _empirical_vs_analytic(fi, target: str, rng) -> tuple[np.ndarray, np.ndarray]:
+    draws = weighted_layer_choice(fi, target, rng, size=DRAWS, weighted=True)
+    empirical = np.bincount(draws, minlength=fi.num_layers) / DRAWS
+    analytic = layer_weight_factors(layer_sizes_for_target(fi, target))
+    return empirical, analytic
+
+
+def test_eq1_weighted_layer_selection(benchmark):
+    models = {
+        "vgg16": vgg16(num_classes=10, seed=0).eval(),
+        "resnet50": resnet50(num_classes=10, seed=0).eval(),
+    }
+    rng = np.random.default_rng(33)
+    rows = []
+
+    def run():
+        rows.clear()
+        for model_name, model in models.items():
+            fi = FaultInjection(model, input_shape=(3, 32, 32))
+            for target in ("weights", "neurons"):
+                empirical, analytic = _empirical_vs_analytic(fi, target, rng)
+                max_abs_error = float(np.abs(empirical - analytic).max())
+                top_layer = int(np.argmax(analytic))
+                rows.append(
+                    {
+                        "model": model_name,
+                        "target": target,
+                        "layers": fi.num_layers,
+                        "largest layer F_i": analytic[top_layer],
+                        "empirical hit rate": empirical[top_layer],
+                        "max |emp - F_i|": max_abs_error,
+                    }
+                )
+                # Empirical sampling must follow Eq. 1 within Monte-Carlo noise.
+                assert max_abs_error < 0.02
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "eq1_layer_weighting",
+        comparison_table(
+            rows,
+            ["model", "target", "layers", "largest layer F_i", "empirical hit rate", "max |emp - F_i|"],
+            title=f"Eq. 1 — weighted layer selection, {DRAWS} draws per configuration",
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Experiment ``goal1`` — Section V item 1: random faults throughout the network.
+
+Injects neuron bit flips at random positions throughout a classifier (all
+layers, all bit positions) to determine the probability of failure of the
+model output in the presence of hardware faults — the paper's most basic
+campaign, driven entirely by the scenario defaults (Listing 1 integration).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import evaluate_classification_campaign
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import comparison_table
+
+IMAGES = 60
+
+
+def _run_random_position_campaign() -> dict:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=41)
+    model = fit_classifier_head(lenet5(seed=2), dataset, 10)
+    scenario = default_scenario(
+        dataset_size=IMAGES,
+        injection_target="neurons",
+        rnd_value_type="bitflip",
+        rnd_bit_range=(0, 31),
+        weighted_layer_selection=True,
+        random_seed=77,
+        batch_size=1,
+    )
+    wrapper = ptfiwrap(model, scenario=scenario)
+    fault_iter = wrapper.get_fimodel_iter()
+
+    golden_logits, corrupted_logits, labels = [], [], []
+    for index in range(IMAGES):
+        image, label = dataset[index]
+        batch = image[None, ...]
+        corrupted_model = next(fault_iter)
+        golden_logits.append(model(batch)[0])
+        corrupted_logits.append(corrupted_model(batch)[0])
+        labels.append(label)
+    result = evaluate_classification_campaign(
+        np.stack(golden_logits), np.stack(corrupted_logits), np.asarray(labels), model_name="lenet5"
+    )
+    layers_hit = wrapper.get_fault_matrix().matrix[1, :]
+    return {
+        "result": result,
+        "distinct_layers_hit": len(np.unique(layers_hit)),
+        "num_layers": wrapper.fault_injection.num_layers,
+        "applied": len(wrapper.applied_faults),
+    }
+
+
+def test_goal1_random_positions_throughout_network(benchmark):
+    summary = benchmark.pedantic(_run_random_position_campaign, rounds=1, iterations=1)
+    result = summary["result"]
+
+    assert result.num_inferences == IMAGES
+    assert summary["applied"] == IMAGES  # exactly one neuron fault per image applied
+    # Random positions must actually spread over the network.
+    assert summary["distinct_layers_hit"] >= 2
+    # Neural networks tolerate most single neuron bit flips: masking dominates.
+    assert result.masked_rate > 0.5
+    assert result.masked_rate + result.sde_rate + result.due_rate == 1.0
+
+    report(
+        "goal1_random_positions",
+        comparison_table(
+            [
+                {
+                    "model": "lenet5",
+                    "inferences": result.num_inferences,
+                    "masked": result.masked_rate,
+                    "SDE": result.sde_rate,
+                    "DUE": result.due_rate,
+                    "layers hit": f"{summary['distinct_layers_hit']}/{summary['num_layers']}",
+                }
+            ],
+            ["model", "inferences", "masked", "SDE", "DUE", "layers hit"],
+            title="Goal 1 — failure probability under random neuron bit flips (any layer, any bit)",
+        ),
+    )

@@ -1,0 +1,81 @@
+"""Experiment ``goal2a`` — Section V item 2a: iterate through single layers.
+
+Uses ``wrapper.get_scenario()`` / ``wrapper.set_scenario()`` to move the
+fault injection focus layer by layer through the CNN (the paper's layer
+sweep) and reports the per-layer SDE rate.  Early convolution layers, whose
+corrupted activations pass through the whole network, are expected to differ
+from the final fully connected layers that directly drive the output.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import sde_per_layer_chart
+
+IMAGES = 25
+
+
+def _run_layer_sweep() -> dict[int, dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=42)
+    model = fit_classifier_head(lenet5(seed=4), dataset, 10)
+    scenario = default_scenario(
+        dataset_size=IMAGES,
+        injection_target="neurons",
+        rnd_value_type="bitflip",
+        rnd_bit_range=(30, 31),  # high-impact bits make per-layer differences visible
+        random_seed=55,
+        batch_size=1,
+    )
+    wrapper = ptfiwrap(model, scenario=scenario)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    golden = model(images)
+
+    per_layer: dict[int, dict] = {}
+    for layer in range(wrapper.fault_injection.num_layers):
+        # The paper's pattern: fetch the scenario, move the layer window,
+        # write it back; this regenerates the fault set for the new layer.
+        current = wrapper.get_scenario()
+        current.layer_range = (layer, layer)
+        wrapper.set_scenario(current)
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted_logits = []
+        for index in range(IMAGES):
+            corrupted_model = next(fault_iter)
+            corrupted_logits.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted_logits))
+        layers_hit = set(np.unique(wrapper.get_fault_matrix().matrix[1, :]))
+        per_layer[layer] = {
+            "rates": rates,
+            "layers_hit": layers_hit,
+            "layer_name": wrapper.fault_injection.layers[layer].name,
+        }
+    return per_layer
+
+
+def test_goal2a_layer_by_layer_sweep(benchmark):
+    per_layer = benchmark.pedantic(_run_layer_sweep, rounds=1, iterations=1)
+
+    assert len(per_layer) == 5  # LeNet-5: 2 conv + 3 linear layers
+    for layer, entry in per_layer.items():
+        # The sweep must have confined every fault to the selected layer.
+        assert entry["layers_hit"] == {float(layer)}
+        total = entry["rates"]["masked"] + entry["rates"]["sde"] + entry["rates"]["due"]
+        assert total == 1.0
+
+    sde_by_layer = {layer: entry["rates"]["sde"] for layer, entry in per_layer.items()}
+    # At least one layer must show sensitivity to MSB flips.
+    assert max(sde_by_layer.values()) > 0.0
+
+    report(
+        "goal2a_layer_sweep",
+        sde_per_layer_chart(
+            sde_by_layer,
+            title=f"Goal 2a — SDE rate per injected layer (LeNet-5, neuron bit flips at bits 30-31, {IMAGES} images/layer)",
+            layer_names={layer: entry["layer_name"] for layer, entry in per_layer.items()},
+        ),
+    )

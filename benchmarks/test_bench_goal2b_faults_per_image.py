@@ -1,0 +1,83 @@
+"""Experiment ``goal2b`` — Section V item 2b: increase faults per image.
+
+Successively increases the number of concurrent faults injected while
+processing a single image to find out how many faults the model tolerates
+before the output degrades — the paper's robustness staircase.  The SDE rate
+must grow (weakly) monotonically with the number of concurrent faults.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import comparison_table
+
+IMAGES = 25
+FAULT_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _run_fault_count_sweep() -> list[dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=43)
+    model = fit_classifier_head(lenet5(seed=6), dataset, 10)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    golden = model(images)
+    wrapper = ptfiwrap(
+        model,
+        scenario=default_scenario(
+            dataset_size=IMAGES,
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(23, 30),
+            random_seed=66,
+            batch_size=1,
+        ),
+    )
+    rows = []
+    for fault_count in FAULT_COUNTS:
+        # Same pattern as the layer sweep: mutate the scenario at run time.
+        wrapper.update_scenario(max_faults_per_image=fault_count)
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted_logits = []
+        for index in range(IMAGES):
+            corrupted_model = next(fault_iter)
+            corrupted_logits.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted_logits))
+        rows.append(
+            {
+                "faults/image": fault_count,
+                "masked": rates["masked"],
+                "SDE": rates["sde"],
+                "DUE": rates["due"],
+                "corrupted (SDE+DUE)": rates["sde"] + rates["due"],
+            }
+        )
+    return rows
+
+
+def test_goal2b_faults_per_image_sweep(benchmark):
+    rows = benchmark.pedantic(_run_fault_count_sweep, rounds=1, iterations=1)
+
+    corrupted_rates = [row["corrupted (SDE+DUE)"] for row in rows]
+    # More concurrent faults must not make the model *more* correct: the
+    # overall trend rises even if individual steps wiggle (each step draws a
+    # fresh random fault set over a small image count).
+    assert corrupted_rates[-1] >= corrupted_rates[0]
+    assert max(corrupted_rates) > 0.0
+    half = len(corrupted_rates) // 2
+    assert np.mean(corrupted_rates[half:]) >= np.mean(corrupted_rates[:half]) - 1e-9
+
+    report(
+        "goal2b_faults_per_image",
+        comparison_table(
+            rows,
+            ["faults/image", "masked", "SDE", "DUE", "corrupted (SDE+DUE)"],
+            title=(
+                "Goal 2b — robustness vs number of concurrent weight faults per image "
+                f"(LeNet-5, exponent bits, {IMAGES} images per step)"
+            ),
+        ),
+    )

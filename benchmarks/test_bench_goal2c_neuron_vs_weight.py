@@ -1,0 +1,84 @@
+"""Experiment ``goal2c`` — Section V item 2c: switch between neuron and weight faults.
+
+Runs the identical campaign twice, once injecting into neurons (transient,
+hook-based) and once into weights (parameter patching), with and without
+Ranger protection — to determine whether a mitigation strategy is equally
+effective for both fault targets, which is the question the paper attaches
+to this test goal.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import (
+    TestErrorModels_ImgClass,
+    apply_protection,
+    collect_activation_bounds,
+    default_scenario,
+)
+from repro.data import SyntheticClassificationDataset
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import comparison_table
+
+TestErrorModels_ImgClass.__test__ = False
+
+IMAGES = 30
+
+
+def _run_neuron_vs_weight() -> list[dict]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=44)
+    model = fit_classifier_head(lenet5(seed=8), dataset, 10)
+    calibration = np.stack([dataset[i][0] for i in range(10)])
+    hardened = apply_protection(model, collect_activation_bounds(model, [calibration]), "ranger")
+
+    rows = []
+    for target in ("neurons", "weights"):
+        scenario = default_scenario(
+            injection_target=target,
+            rnd_value_type="bitflip",
+            rnd_bit_range=(23, 30),
+            random_seed=88,
+        )
+        runner = TestErrorModels_ImgClass(
+            model=model,
+            resil_model=hardened,
+            model_name=f"lenet_{target}",
+            dataset=dataset,
+            scenario=scenario,
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_image")
+        rows.append(
+            {
+                "target": target,
+                "SDE (no protection)": output.corrupted.sde_rate,
+                "DUE (no protection)": output.corrupted.due_rate,
+                "SDE (Ranger)": output.resil.sde_rate,
+                "inferences": output.corrupted.num_inferences,
+            }
+        )
+    return rows
+
+
+def test_goal2c_neuron_vs_weight_injection(benchmark):
+    rows = benchmark.pedantic(_run_neuron_vs_weight, rounds=1, iterations=1)
+    by_target = {row["target"]: row for row in rows}
+
+    assert set(by_target) == {"neurons", "weights"}
+    for row in rows:
+        assert row["inferences"] == IMAGES
+        assert 0.0 <= row["SDE (no protection)"] <= 1.0
+        # Protection must not hurt for either fault target.
+        assert row["SDE (Ranger)"] <= row["SDE (no protection)"] + 1e-9
+
+    report(
+        "goal2c_neuron_vs_weight",
+        comparison_table(
+            rows,
+            ["target", "SDE (no protection)", "SDE (Ranger)", "DUE (no protection)", "inferences"],
+            title=(
+                "Goal 2c — neuron vs weight fault injection under the same scenario "
+                f"(LeNet-5, exponent bits, {IMAGES} images, Ranger mitigation)"
+            ),
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Experiment ``goal2d`` — Section V item 2d: sweep the flipped bit position.
+
+Changes the bit flip position for weight faults across the whole float32
+word and measures the SDE rate per bit — verifying which bit positions of
+the numeric type are likely to produce failures.  The expected shape (also
+the paper's motivation for exponent-bit campaigns): the high exponent bits
+dominate, mantissa bits are almost always masked.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+from repro.tensor import exponent_bit_range, mantissa_bit_range
+from repro.visualization import sde_per_bit_chart
+
+IMAGES = 20
+# Sweep a representative subset of bit positions across the float32 word.
+BIT_POSITIONS = (0, 5, 10, 15, 20, 22, 23, 25, 27, 29, 30, 31)
+
+
+def _run_bit_sweep() -> dict[int, float]:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=45)
+    model = fit_classifier_head(lenet5(seed=9), dataset, 10)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    golden = model(images)
+    wrapper = ptfiwrap(
+        model,
+        scenario=default_scenario(
+            dataset_size=IMAGES,
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            random_seed=99,
+            batch_size=1,
+        ),
+    )
+    sde_by_bit: dict[int, float] = {}
+    for bit in BIT_POSITIONS:
+        wrapper.update_scenario(rnd_bit_range=(bit, bit))
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted_logits = []
+        for index in range(IMAGES):
+            corrupted_model = next(fault_iter)
+            corrupted_logits.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted_logits))
+        sde_by_bit[bit] = rates["sde"] + rates["due"]
+    return sde_by_bit
+
+
+def test_goal2d_bit_position_sweep(benchmark):
+    sde_by_bit = benchmark.pedantic(_run_bit_sweep, rounds=1, iterations=1)
+
+    exponent_low, exponent_high = exponent_bit_range("float32")
+    mantissa_low, mantissa_high = mantissa_bit_range("float32")
+    exponent_rates = [rate for bit, rate in sde_by_bit.items() if exponent_low <= bit <= exponent_high]
+    low_mantissa_rates = [rate for bit, rate in sde_by_bit.items() if mantissa_low <= bit <= 15]
+
+    # Low mantissa bits are (nearly) always masked for single weight faults.
+    assert max(low_mantissa_rates) <= 0.1
+    # The exponent field must dominate: its peak is the global peak of the sweep.
+    assert max(exponent_rates) == max(sde_by_bit.values())
+    # The exponent MSB (bit 30) must produce corruption on this model.
+    assert sde_by_bit[30] > 0.0
+
+    report(
+        "goal2d_bit_position_sweep",
+        sde_per_bit_chart(
+            sde_by_bit,
+            title=(
+                "Goal 2d — SDE+DUE rate vs flipped bit position (LeNet-5 weights, "
+                f"{IMAGES} images per bit; float32 exponent = bits {exponent_low}..{exponent_high})"
+            ),
+        ),
+    )

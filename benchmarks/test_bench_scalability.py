@@ -1,0 +1,147 @@
+"""Experiment ``scale`` — large-scale campaign efficiency (Sections I and IV).
+
+The paper's motivation for PyTorchALFI is *validation efficiency*: campaigns
+over many fault locations must be cheap to define, reproducible, and must not
+pay a reconfiguration penalty per inference.  This benchmark quantifies the
+mechanisms that provide that efficiency on this reproduction:
+
+* fault pre-generation throughput (faults/second) for campaigns of growing
+  size — the cost is paid once, before the inference run;
+* the per-inference overhead of obtaining the next faulty model from the
+  iterator versus re-building a wrapper from scratch for every image (the
+  naive baseline the pre-generated fault matrix replaces);
+* fault file reuse: storing and reloading a fault matrix is orders of
+  magnitude cheaper than regenerating and guarantees identical faults.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.alficore import FaultMatrix, FaultMatrixGenerator, default_scenario, ptfiwrap
+from repro.models import vgg16
+from repro.pytorchfi import FaultInjection
+from repro.visualization import comparison_table
+
+
+@pytest.fixture(scope="module")
+def profiled_vgg():
+    model = vgg16(num_classes=10, seed=0).eval()
+    return model, FaultInjection(model, input_shape=(3, 32, 32))
+
+
+def test_scale_fault_pregeneration_throughput(benchmark, profiled_vgg):
+    """Generating 100k weight faults for VGG-16 must run at >10k faults/s."""
+    _, fi = profiled_vgg
+    scenario = default_scenario(
+        dataset_size=10_000, num_runs=10, injection_target="weights", random_seed=7
+    )
+    generator = FaultMatrixGenerator(fi, scenario)
+
+    matrix = benchmark.pedantic(lambda: generator.generate(100_000), rounds=1, iterations=1)
+    assert matrix.num_faults == 100_000
+
+    elapsed = benchmark.stats.stats.mean
+    throughput = matrix.num_faults / elapsed
+    assert throughput > 10_000
+    report(
+        "scale_pregeneration",
+        comparison_table(
+            [
+                {
+                    "faults": matrix.num_faults,
+                    "seconds": elapsed,
+                    "faults/s": throughput,
+                    "bytes/fault": matrix.matrix.nbytes / matrix.num_faults,
+                }
+            ],
+            ["faults", "seconds", "faults/s", "bytes/fault"],
+            title="Large-scale campaign: one-off fault pre-generation cost (VGG-16, weight faults)",
+        ),
+    )
+
+
+def test_scale_iterator_vs_naive_reconfiguration(benchmark, profiled_vgg):
+    """The faulty-model iterator must beat re-wrapping the model per image."""
+    model, _ = profiled_vgg
+    images = 20
+    scenario = default_scenario(
+        dataset_size=images, injection_target="weights", random_seed=8, batch_size=1
+    )
+
+    def iterator_path():
+        wrapper = ptfiwrap(model, scenario=scenario)
+        fault_iter = wrapper.get_fimodel_iter()
+        return [next(fault_iter) for _ in range(images)]
+
+    def naive_path():
+        # The anti-pattern PyTorchALFI avoids: full reconfiguration per image.
+        corrupted = []
+        for index in range(images):
+            wrapper = ptfiwrap(model, scenario=scenario.copy(random_seed=1000 + index))
+            corrupted.append(next(wrapper.get_fimodel_iter()))
+        return corrupted
+
+    corrupted_models = benchmark.pedantic(iterator_path, rounds=1, iterations=1)
+    assert len(corrupted_models) == images
+    iterator_seconds = benchmark.stats.stats.mean
+
+    import time
+
+    start = time.perf_counter()
+    naive_models = naive_path()
+    naive_seconds = time.perf_counter() - start
+    assert len(naive_models) == images
+
+    speedup = naive_seconds / iterator_seconds
+    assert speedup > 1.5  # pre-generated faults amortise profiling + generation
+    report(
+        "scale_iterator_vs_naive",
+        comparison_table(
+            [
+                {
+                    "strategy": "ptfiwrap iterator (pre-generated faults)",
+                    "seconds for 20 faulty models": iterator_seconds,
+                },
+                {
+                    "strategy": "naive re-wrap per image",
+                    "seconds for 20 faulty models": naive_seconds,
+                },
+                {"strategy": "speedup", "seconds for 20 faulty models": speedup},
+            ],
+            ["strategy", "seconds for 20 faulty models"],
+            title="Large-scale campaign: faulty-model iterator vs per-image reconfiguration (VGG-16)",
+        ),
+    )
+
+
+def test_scale_fault_file_reuse(benchmark, profiled_vgg, tmp_path):
+    """Reloading a stored fault file is cheap and bit-identical to the original."""
+    _, fi = profiled_vgg
+    scenario = default_scenario(dataset_size=5_000, injection_target="weights", random_seed=9)
+    matrix = FaultMatrixGenerator(fi, scenario).generate()
+    path = matrix.save(tmp_path / "campaign_faults.npz")
+
+    loaded = benchmark(lambda: FaultMatrix.load(path))
+    assert loaded == matrix
+
+    regeneration_cost = None
+    import time
+
+    start = time.perf_counter()
+    FaultMatrixGenerator(fi, scenario).generate()
+    regeneration_cost = time.perf_counter() - start
+    reload_cost = benchmark.stats.stats.mean
+    assert reload_cost < regeneration_cost
+    report(
+        "scale_fault_file_reuse",
+        comparison_table(
+            [
+                {"operation": "regenerate 5000 faults", "seconds": regeneration_cost},
+                {"operation": "reload stored fault file", "seconds": reload_cost},
+                {"operation": "speedup", "seconds": regeneration_cost / reload_cost},
+            ],
+            ["operation", "seconds"],
+            title="Fault persistence: reuse of stored fault sets across experiments",
+        ),
+    )

@@ -1,0 +1,105 @@
+"""Experiment ``table1`` — Table I: fault definition parameters for neuron FI.
+
+Generates a neuron fault matrix for a CNN and reproduces Table I: the seven
+rows of the matrix (batch, layer, channel, depth, height, width, value), one
+column per fault, and verifies the semantics of every row.  The benchmark
+times fault matrix generation, which the paper highlights as the step that
+makes large-scale campaigns cheap (all faults are pre-generated once).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.alficore import FaultMatrixGenerator, NEURON_ROWS, default_scenario
+from repro.models import vgg16
+from repro.pytorchfi import FaultInjection
+from repro.visualization import comparison_table
+
+TABLE_I_DESCRIPTIONS = {
+    "batch": "number of images within a batch",
+    "layer": "n-th layer out of all available layers",
+    "channel": "n-th channel out of all available channels",
+    "depth": "additional index for conv3d layers",
+    "height": "y position in input",
+    "width": "x position in input",
+    "value": "either a number or the index of bit position",
+}
+
+
+def test_table1_neuron_fault_matrix(benchmark):
+    model = vgg16(num_classes=10, seed=0).eval()
+    fi = FaultInjection(model, batch_size=4, input_shape=(3, 32, 32))
+    scenario = default_scenario(
+        dataset_size=100,
+        num_runs=2,
+        max_faults_per_image=2,
+        batch_size=4,
+        injection_target="neurons",
+        rnd_bit_range=(0, 31),
+        random_seed=21,
+    )
+
+    matrix = benchmark(lambda: FaultMatrixGenerator(fi, scenario).generate())
+
+    # --- Table I structure -------------------------------------------------
+    assert matrix.rows == NEURON_ROWS
+    assert matrix.matrix.shape == (7, scenario.total_faults)
+    assert matrix.num_faults == 100 * 2 * 2
+
+    # Row semantics: every coordinate stays within the profiled layer shapes.
+    for column in range(0, matrix.num_faults, 37):
+        fault = matrix.to_neuron_faults([column])[0]
+        shape = fi.get_layer_info(fault.layer).output_shape
+        assert 0 <= fault.batch < scenario.batch_size
+        assert 0 <= fault.channel < shape[1]
+        if len(shape) == 4:
+            assert 0 <= fault.height < shape[2]
+            assert 0 <= fault.width < shape[3]
+        assert 0 <= fault.value <= 31
+
+    rows = [
+        {
+            "line": index + 1,
+            "ID": name,
+            "description": TABLE_I_DESCRIPTIONS[name],
+            "example (fault #0)": f"{matrix.column(0)[index]:.0f}",
+            "min": f"{matrix.matrix[index].min():.0f}",
+            "max": f"{matrix.matrix[index].max():.0f}",
+        }
+        for index, name in enumerate(NEURON_ROWS)
+    ]
+    report(
+        "table1_fault_matrix",
+        comparison_table(
+            rows,
+            ["line", "ID", "description", "example (fault #0)", "min", "max"],
+            title=(
+                "Table I — fault definition parameters for neuron fault injection "
+                f"(fault matrix 7 x {matrix.num_faults}, VGG-16, n = a*b*c = 100*2*2)"
+            ),
+        ),
+    )
+
+
+def test_table1_weight_fault_matrix_layout(benchmark):
+    """Weight matrices share the layout with re-interpreted first rows."""
+    model = vgg16(num_classes=10, seed=0).eval()
+    fi = FaultInjection(model, input_shape=(3, 32, 32))
+    scenario = default_scenario(
+        dataset_size=200, injection_target="weights", rnd_bit_range=(0, 31), random_seed=22
+    )
+    matrix = benchmark(lambda: FaultMatrixGenerator(fi, scenario).generate())
+    assert matrix.rows[0] == "layer"
+    assert matrix.rows[1] == "out_channel"
+    assert matrix.rows[2] == "in_channel"
+    for column in range(0, matrix.num_faults, 41):
+        fault = matrix.to_weight_faults([column])[0]
+        shape = fi.get_layer_info(fault.layer).weight_shape
+        assert 0 <= fault.out_channel < shape[0]
+        assert 0 <= fault.in_channel < shape[1]
+    report(
+        "table1_weight_matrix",
+        "Weight fault matrix layout: rows = "
+        + ", ".join(matrix.rows)
+        + f"; {matrix.num_faults} pre-generated faults for VGG-16.",
+    )

@@ -1,0 +1,86 @@
+"""Iterative experiments: layer sweep and bit-position sweep (Section V-D).
+
+Shows the run-time scenario mutation pattern of the paper: the scenario is
+fetched with ``wrapper.get_scenario()``, the layer window (or bit range) is
+moved, and the scenario is written back with ``wrapper.set_scenario()`` which
+regenerates the fault set — no manual reconfiguration between the steps of
+the sweep.
+
+Run with:  python examples/layer_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.eval import sde_rate
+from repro.models import alexnet
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import sde_per_bit_chart, sde_per_layer_chart
+
+IMAGES = 20
+
+
+def run_sweep(wrapper, images, golden, configure) -> dict[int, float]:
+    """Run one sweep: ``configure(scenario, step)`` mutates the scenario per step."""
+    results: dict[int, float] = {}
+    for step in configure.steps:
+        scenario = wrapper.get_scenario()
+        configure(scenario, step)
+        wrapper.set_scenario(scenario)
+        fault_iter = wrapper.get_fimodel_iter()
+        corrupted = []
+        for index in range(len(images)):
+            corrupted_model = next(fault_iter)
+            corrupted.append(corrupted_model(images[index : index + 1])[0])
+        rates = sde_rate(golden, np.stack(corrupted))
+        results[step] = rates["sde"] + rates["due"]
+    return results
+
+
+def main() -> None:
+    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=3)
+    model = fit_classifier_head(alexnet(num_classes=10, seed=5), dataset, num_classes=10)
+    images = np.stack([dataset[i][0] for i in range(IMAGES)])
+    golden = model(images)
+
+    wrapper = ptfiwrap(
+        model,
+        scenario=default_scenario(
+            dataset_size=IMAGES,
+            injection_target="neurons",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(30, 31),
+            random_seed=11,
+            batch_size=1,
+        ),
+    )
+
+    # --- sweep 1: move the fault injection focus layer by layer ------------
+    class LayerStep:
+        steps = range(wrapper.fault_injection.num_layers)
+
+        def __call__(self, scenario, layer):
+            scenario.layer_range = (layer, layer)
+
+    per_layer = run_sweep(wrapper, images, golden, LayerStep())
+    layer_names = {info.index: info.name for info in wrapper.fault_injection.layers}
+    print(sde_per_layer_chart(per_layer, "SDE+DUE per injected layer (AlexNet)", layer_names))
+
+    # --- sweep 2: move the flipped bit position ----------------------------
+    class BitStep:
+        steps = (0, 10, 20, 23, 26, 28, 30, 31)
+
+        def __call__(self, scenario, bit):
+            scenario.layer_range = None
+            scenario.rnd_bit_range = (bit, bit)
+
+    per_bit = run_sweep(wrapper, images, golden, BitStep())
+    print()
+    print(sde_per_bit_chart(per_bit, "SDE+DUE per flipped bit position (AlexNet neurons)"))
+
+
+if __name__ == "__main__":
+    main()

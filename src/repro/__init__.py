@@ -1,0 +1,23 @@
+"""PyTorchALFI reproduction.
+
+A self-contained reproduction of the PyTorchALFI application-level fault
+injection framework (Graefe et al., DSN 2023 workshop).  Because the target
+environment ships neither PyTorch nor pre-trained models, the package also
+provides the substrates the paper depends on:
+
+* :mod:`repro.nn` -- a numpy-backed neural-network library that reproduces
+  the PyTorch ``Module`` / forward-hook / parameter contract PyTorchALFI
+  relies on.
+* :mod:`repro.models` -- classification and object-detection model zoos.
+* :mod:`repro.data` -- synthetic ImageNet-style and CoCo-format datasets.
+* :mod:`repro.pytorchfi` -- a PyTorchFI-compatible core fault injector.
+* :mod:`repro.alficore` -- the paper's contribution: scenario configuration,
+  pre-generated fault matrices, faulty-model iterators, monitors, result
+  persistence, KPI generation and model hardening.
+* :mod:`repro.eval` -- classification and detection KPIs (SDE / DUE / IVMOD /
+  CoCo-style mAP).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

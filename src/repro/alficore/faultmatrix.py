@@ -1,0 +1,319 @@
+"""Pre-generated fault matrices (Table I of the paper).
+
+All faults of a campaign are generated *before* the inference run and stored
+as a matrix: each column is one fault, and the rows encode its location and
+value.  For neuron faults the rows are (Table I)
+
+    1. batch    -- number of the image within a batch
+    2. layer    -- n-th layer out of all injectable layers
+    3. channel  -- n-th channel of the layer output
+    4. depth    -- additional index for conv3d layers
+    5. height   -- y position in the output
+    6. width    -- x position in the output
+    7. value    -- either a number or the index of the bit position to flip
+
+Weight fault matrices use the same layout with the first rows re-interpreted:
+row 1 is the layer index and rows 2/3 are the weight's output and input
+channel.  The matrix is persisted as a binary file so the identical set of
+faults can be reused across experiments (e.g. to compare a hardened model
+against the unprotected baseline under exactly the same faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.alficore.layerweights import weighted_layer_choice
+from repro.alficore.scenario import ScenarioConfig
+from repro.pytorchfi.core import UNSET, FaultInjection, NeuronFault, WeightFault
+
+NEURON_ROWS = ("batch", "layer", "channel", "depth", "height", "width", "value")
+WEIGHT_ROWS = ("layer", "out_channel", "in_channel", "depth", "height", "width", "value")
+NUM_ROWS = 7
+
+
+@dataclass
+class FaultMatrix:
+    """A pre-generated set of faults (one column per fault).
+
+    Attributes:
+        matrix: array of shape ``(7, num_faults)``.
+        injection_target: ``"neurons"`` or ``"weights"``.
+        metadata: free-form campaign metadata (scenario dict, model name, ...).
+    """
+
+    matrix: np.ndarray
+    injection_target: str
+    metadata: dict
+
+    def __post_init__(self):
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != NUM_ROWS:
+            raise ValueError(
+                f"fault matrix must have shape (7, n), got {self.matrix.shape}"
+            )
+        if self.injection_target not in ("neurons", "weights"):
+            raise ValueError(f"invalid injection target {self.injection_target!r}")
+
+    @property
+    def rows(self) -> tuple[str, ...]:
+        """Row labels of the matrix (depends on the injection target)."""
+        return NEURON_ROWS if self.injection_target == "neurons" else WEIGHT_ROWS
+
+    @property
+    def num_faults(self) -> int:
+        """Number of faults (columns) in the matrix."""
+        return self.matrix.shape[1]
+
+    def column(self, index: int) -> np.ndarray:
+        """Return one fault column."""
+        if not 0 <= index < self.num_faults:
+            raise IndexError(f"fault column {index} out of range (0..{self.num_faults - 1})")
+        return self.matrix[:, index]
+
+    def columns(self, indices: list[int] | np.ndarray) -> np.ndarray:
+        """Return a sub-matrix containing the selected fault columns."""
+        return self.matrix[:, np.asarray(indices, dtype=np.int64)]
+
+    # ------------------------------------------------------------------ #
+    # conversion to injector fault objects
+    # ------------------------------------------------------------------ #
+    def to_neuron_faults(self, indices: list[int] | np.ndarray) -> list[NeuronFault]:
+        """Convert the selected columns into :class:`NeuronFault` objects."""
+        if self.injection_target != "neurons":
+            raise ValueError("matrix holds weight faults, not neuron faults")
+        faults = []
+        for column_index in np.asarray(indices, dtype=np.int64):
+            column = self.column(int(column_index))
+            faults.append(
+                NeuronFault(
+                    batch=int(column[0]),
+                    layer=int(column[1]),
+                    channel=int(column[2]),
+                    depth=int(column[3]),
+                    height=int(column[4]),
+                    width=int(column[5]),
+                    value=float(column[6]),
+                )
+            )
+        return faults
+
+    def to_weight_faults(self, indices: list[int] | np.ndarray) -> list[WeightFault]:
+        """Convert the selected columns into :class:`WeightFault` objects."""
+        if self.injection_target != "weights":
+            raise ValueError("matrix holds neuron faults, not weight faults")
+        faults = []
+        for column_index in np.asarray(indices, dtype=np.int64):
+            column = self.column(int(column_index))
+            faults.append(
+                WeightFault(
+                    layer=int(column[0]),
+                    out_channel=int(column[1]),
+                    in_channel=int(column[2]),
+                    depth=int(column[3]),
+                    height=int(column[4]),
+                    width=int(column[5]),
+                    value=float(column[6]),
+                )
+            )
+        return faults
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Persist the matrix (and metadata) as a binary ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        metadata_json = np.asarray(_encode_metadata(self.metadata))
+        np.savez(
+            path,
+            matrix=self.matrix,
+            injection_target=np.asarray(self.injection_target),
+            metadata=metadata_json,
+        )
+        # numpy appends .npz if missing; normalise the returned path.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultMatrix":
+        """Load a matrix previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists() and path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        if not path.exists():
+            raise FileNotFoundError(f"fault file not found: {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            matrix = archive["matrix"]
+            target = str(archive["injection_target"])
+            metadata = _decode_metadata(str(archive["metadata"]))
+        return cls(matrix=matrix, injection_target=target, metadata=metadata)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultMatrix):
+            return NotImplemented
+        return (
+            self.injection_target == other.injection_target
+            and self.matrix.shape == other.matrix.shape
+            and np.allclose(self.matrix, other.matrix, equal_nan=True)
+        )
+
+
+def _encode_metadata(metadata: dict) -> str:
+    import json
+
+    return json.dumps(metadata, sort_keys=True, default=str)
+
+
+def _decode_metadata(blob: str) -> dict:
+    import json
+
+    return json.loads(blob) if blob else {}
+
+
+class FaultMatrixGenerator:
+    """Generate a :class:`FaultMatrix` from a scenario and a profiled model.
+
+    Args:
+        fi: profiled :class:`FaultInjection` core (layer shapes).
+        scenario: campaign configuration.
+        rng: optional random generator; defaults to one seeded from the
+            scenario's ``random_seed`` so fault sets are reproducible.
+    """
+
+    def __init__(
+        self,
+        fi: FaultInjection,
+        scenario: ScenarioConfig,
+        rng: np.random.Generator | None = None,
+    ):
+        self.fi = fi
+        self.scenario = scenario
+        self.rng = rng if rng is not None else np.random.default_rng(scenario.random_seed)
+        self._check_layer_range()
+
+    def _check_layer_range(self) -> None:
+        if self.scenario.layer_range is None:
+            return
+        start, end = self.scenario.layer_range
+        if end >= self.fi.num_layers:
+            raise ValueError(
+                f"scenario layer_range {self.scenario.layer_range} exceeds the model's "
+                f"{self.fi.num_layers} injectable layers"
+            )
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(self, num_faults: int | None = None) -> FaultMatrix:
+        """Generate the full fault matrix for the campaign.
+
+        Args:
+            num_faults: number of faults; defaults to the scenario's
+                ``total_faults`` (= dataset_size * num_runs * max_faults_per_image).
+        """
+        count = num_faults if num_faults is not None else self.scenario.total_faults
+        if count <= 0:
+            raise ValueError(f"number of faults must be positive, got {count}")
+        layers = weighted_layer_choice(
+            self.fi,
+            self.scenario.injection_target,
+            self.rng,
+            size=count,
+            layer_range=self.scenario.layer_range,
+            weighted=self.scenario.weighted_layer_selection,
+        )
+        matrix = np.zeros((NUM_ROWS, count), dtype=np.float64)
+        for column in range(count):
+            layer_index = int(layers[column])
+            if self.scenario.injection_target == "neurons":
+                matrix[:, column] = self._neuron_column(column, layer_index)
+            else:
+                matrix[:, column] = self._weight_column(layer_index)
+        metadata = {
+            "scenario": self.scenario.as_dict(),
+            "model_name": self.scenario.model_name,
+            "dataset_name": self.scenario.dataset_name,
+            "num_faults": count,
+            "layer_names": [info.name for info in self.fi.layers],
+        }
+        return FaultMatrix(
+            matrix=matrix,
+            injection_target=self.scenario.injection_target,
+            metadata=metadata,
+        )
+
+    def _neuron_column(self, column: int, layer_index: int) -> np.ndarray:
+        info = self.fi.get_layer_info(layer_index)
+        if info.output_shape is None:
+            raise RuntimeError(
+                f"layer {info.name} has no recorded output shape; neuron faults need profiling"
+            )
+        batch_position = self._batch_position(column)
+        shape = info.output_shape
+        channel, depth, height, width = UNSET, UNSET, UNSET, UNSET
+        if len(shape) == 2:  # (N, features): store the feature index in the channel row
+            channel = int(self.rng.integers(0, shape[1]))
+        elif len(shape) == 4:  # (N, C, H, W)
+            channel = int(self.rng.integers(0, shape[1]))
+            height = int(self.rng.integers(0, shape[2]))
+            width = int(self.rng.integers(0, shape[3]))
+        elif len(shape) == 5:  # (N, C, D, H, W)
+            channel = int(self.rng.integers(0, shape[1]))
+            depth = int(self.rng.integers(0, shape[2]))
+            height = int(self.rng.integers(0, shape[3]))
+            width = int(self.rng.integers(0, shape[4]))
+        else:
+            raise ValueError(f"unsupported output rank {len(shape)} for layer {info.name}")
+        return np.asarray(
+            [batch_position, layer_index, channel, depth, height, width, self._value()],
+            dtype=np.float64,
+        )
+
+    def _weight_column(self, layer_index: int) -> np.ndarray:
+        info = self.fi.get_layer_info(layer_index)
+        shape = info.weight_shape
+        out_channel, in_channel = 0, 0
+        depth, height, width = UNSET, UNSET, UNSET
+        if len(shape) == 2:  # Linear (out_features, in_features)
+            out_channel = int(self.rng.integers(0, shape[0]))
+            in_channel = int(self.rng.integers(0, shape[1]))
+        elif len(shape) == 4:  # Conv2d (out, in, kh, kw)
+            out_channel = int(self.rng.integers(0, shape[0]))
+            in_channel = int(self.rng.integers(0, shape[1]))
+            height = int(self.rng.integers(0, shape[2]))
+            width = int(self.rng.integers(0, shape[3]))
+        elif len(shape) == 5:  # Conv3d (out, in, kd, kh, kw)
+            out_channel = int(self.rng.integers(0, shape[0]))
+            in_channel = int(self.rng.integers(0, shape[1]))
+            depth = int(self.rng.integers(0, shape[2]))
+            height = int(self.rng.integers(0, shape[3]))
+            width = int(self.rng.integers(0, shape[4]))
+        else:
+            raise ValueError(f"unsupported weight rank {len(shape)} for layer {info.name}")
+        return np.asarray(
+            [layer_index, out_channel, in_channel, depth, height, width, self._value()],
+            dtype=np.float64,
+        )
+
+    def _batch_position(self, column: int) -> int:
+        """Position of the targeted image within its batch.
+
+        For the ``per_image`` policy every group of ``max_faults_per_image``
+        columns belongs to one image, so the batch position follows from the
+        image index; for the coarser policies the position is drawn randomly.
+        """
+        if self.scenario.inj_policy == "per_image":
+            image_index = column // self.scenario.max_faults_per_image
+            return image_index % self.scenario.batch_size
+        return int(self.rng.integers(0, self.scenario.batch_size))
+
+    def _value(self) -> float:
+        """Draw the value row according to the configured value corruption."""
+        if self.scenario.rnd_value_type in ("bitflip", "stuck_at"):
+            low, high = self.scenario.rnd_bit_range
+            return float(self.rng.integers(low, high + 1))
+        return float(self.rng.uniform(self.scenario.rnd_value_min, self.scenario.rnd_value_max))

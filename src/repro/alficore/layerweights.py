@@ -1,0 +1,91 @@
+"""Layer selection weighting (Eq. 1 of the paper).
+
+When faults are placed at random layers, each layer's relative size can be
+taken into account so that larger layers are proportionally more likely to be
+hit — matching the physical reality that a larger layer occupies more
+hardware resources.  The weight factor of layer ``i`` is
+
+    F_i = prod_j d_ij / sum_i prod_j d_ij
+
+where ``d_ij`` are the sizes of the different dimensions of the layer's
+tensor (the weight tensor for weight faults, the output activation tensor
+for neuron faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pytorchfi.core import FaultInjection
+
+
+def layer_weight_factors(sizes: list[int]) -> np.ndarray:
+    """Normalise per-layer element counts into sampling probabilities (Eq. 1).
+
+    Args:
+        sizes: number of elements per layer (``prod_j d_ij`` for each layer).
+
+    Returns:
+        Array of probabilities summing to 1.  If every layer has zero
+        elements a uniform distribution is returned.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    if sizes_arr.ndim != 1 or len(sizes_arr) == 0:
+        raise ValueError("sizes must be a non-empty 1D sequence")
+    if (sizes_arr < 0).any():
+        raise ValueError("layer sizes must be non-negative")
+    total = sizes_arr.sum()
+    if total == 0:
+        return np.full(len(sizes_arr), 1.0 / len(sizes_arr))
+    return sizes_arr / total
+
+
+def layer_sizes_for_target(fi: FaultInjection, injection_target: str) -> list[int]:
+    """Per-layer element counts for the given injection target.
+
+    The relative size of each layer is calculated separately for weights and
+    neurons (Section V-C of the paper).
+    """
+    if injection_target == "weights":
+        return fi.layer_weight_counts()
+    if injection_target == "neurons":
+        return fi.layer_neuron_counts()
+    raise ValueError(f"injection_target must be 'weights' or 'neurons', got {injection_target!r}")
+
+
+def weighted_layer_choice(
+    fi: FaultInjection,
+    injection_target: str,
+    rng: np.random.Generator,
+    size: int = 1,
+    layer_range: tuple[int, int] | None = None,
+    weighted: bool = True,
+) -> np.ndarray:
+    """Draw layer indices, optionally weighted by relative layer size.
+
+    Args:
+        fi: profiled fault injection core (provides layer sizes).
+        injection_target: ``"neurons"`` or ``"weights"``.
+        rng: random generator.
+        size: number of draws.
+        layer_range: inclusive ``(start, end)`` restriction of eligible layers.
+        weighted: apply Eq. 1 weighting; otherwise uniform over eligible layers.
+
+    Returns:
+        Array of ``size`` layer indices.
+    """
+    sizes = np.asarray(layer_sizes_for_target(fi, injection_target), dtype=np.float64)
+    eligible = np.arange(len(sizes))
+    if layer_range is not None:
+        start, end = layer_range
+        if start < 0 or end >= len(sizes) or start > end:
+            raise ValueError(
+                f"layer_range {layer_range} invalid for model with {len(sizes)} injectable layers"
+            )
+        eligible = eligible[(eligible >= start) & (eligible <= end)]
+    eligible_sizes = sizes[eligible]
+    if weighted:
+        probabilities = layer_weight_factors(list(eligible_sizes))
+    else:
+        probabilities = np.full(len(eligible), 1.0 / len(eligible))
+    return rng.choice(eligible, size=size, p=probabilities)

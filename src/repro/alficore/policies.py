@@ -1,0 +1,98 @@
+"""Injection policies: how faults map onto inferences.
+
+The paper's fault injection policy decides the *scope* of a fault: it can be
+applied to a single image, a whole batch of images, or an entire epoch (the
+complete test dataset).  The policy therefore determines both how many faults
+need to be pre-generated and which fault column(s) are active for a given
+inference step.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.alficore.scenario import ScenarioConfig
+
+
+class InjectionPolicy(str, Enum):
+    """Scope over which one set of faults stays active."""
+
+    PER_IMAGE = "per_image"
+    PER_BATCH = "per_batch"
+    PER_EPOCH = "per_epoch"
+
+    @classmethod
+    def from_string(cls, value: str) -> "InjectionPolicy":
+        """Parse a policy name as used in scenario files."""
+        try:
+            return cls(value)
+        except ValueError as error:
+            valid = [member.value for member in cls]
+            raise ValueError(f"unknown injection policy {value!r}; valid: {valid}") from error
+
+
+def groups_in_campaign(scenario: ScenarioConfig) -> int:
+    """Number of distinct fault groups needed for the whole campaign.
+
+    A *group* is the unit that gets a fresh set of ``max_faults_per_image``
+    faults: every image for ``per_image``, every batch for ``per_batch`` and
+    every epoch for ``per_epoch``.
+    """
+    policy = InjectionPolicy.from_string(scenario.inj_policy)
+    if policy is InjectionPolicy.PER_IMAGE:
+        return scenario.dataset_size * scenario.num_runs
+    if policy is InjectionPolicy.PER_BATCH:
+        batches_per_epoch = (scenario.dataset_size + scenario.batch_size - 1) // scenario.batch_size
+        return batches_per_epoch * scenario.num_runs
+    return scenario.num_runs
+
+
+def faults_required(scenario: ScenarioConfig) -> int:
+    """Total number of fault columns to pre-generate for the campaign.
+
+    The paper pre-generates ``n = dataset_size * num_runs * max_faults_per_image``
+    faults, which covers the finest-grained (``per_image``) policy; coarser
+    policies simply consume fewer columns.  This helper returns the exact
+    number consumed by the configured policy.
+    """
+    return groups_in_campaign(scenario) * scenario.max_faults_per_image
+
+
+def fault_column_for_step(
+    scenario: ScenarioConfig,
+    epoch: int,
+    batch_index: int,
+    image_index: int,
+) -> list[int]:
+    """Return the fault-matrix columns active for one image inference.
+
+    Args:
+        scenario: the campaign configuration.
+        epoch: epoch number (0-based).
+        batch_index: batch number within the epoch (0-based).
+        image_index: global image index within the epoch (0-based).
+
+    Returns:
+        The list of column indices (length ``max_faults_per_image``) whose
+        faults are applied while processing this image.
+    """
+    if epoch < 0 or batch_index < 0 or image_index < 0:
+        raise ValueError("epoch, batch_index and image_index must be non-negative")
+    if image_index >= scenario.dataset_size:
+        raise ValueError(
+            f"image_index {image_index} outside dataset of size {scenario.dataset_size}"
+        )
+    policy = InjectionPolicy.from_string(scenario.inj_policy)
+    if policy is InjectionPolicy.PER_IMAGE:
+        group = epoch * scenario.dataset_size + image_index
+    elif policy is InjectionPolicy.PER_BATCH:
+        batches_per_epoch = (scenario.dataset_size + scenario.batch_size - 1) // scenario.batch_size
+        if batch_index >= batches_per_epoch:
+            raise ValueError(
+                f"batch_index {batch_index} outside epoch with {batches_per_epoch} batches"
+            )
+        group = epoch * batches_per_epoch + batch_index
+    else:  # PER_EPOCH
+        group = epoch
+    start = group * scenario.max_faults_per_image
+    return list(range(start, start + scenario.max_faults_per_image))

@@ -1,0 +1,235 @@
+"""Model hardening: Ranger / Clipper activation range supervision.
+
+Figure 2a of the paper compares unprotected classifiers against variants
+protected by *Ranger* / *Clipper* (activation range supervision, reference
+[6] of the paper).  Both defences exploit the observation that bit flips in
+high exponent bits blow activations far outside their fault-free operating
+range:
+
+* **Ranger** truncates out-of-range activations back to the recorded
+  fault-free bound (clamping), preserving the rest of the computation.
+* **Clipper** sets out-of-range activations to zero, discarding the affected
+  value entirely.
+
+The bounds are extracted from a fault-free calibration run over the test
+dataset (:func:`collect_activation_bounds`).  Protection is applied
+*structurally*: every monitored compute layer is replaced by a
+:class:`ProtectedLayer` wrapping the original layer plus a guard module.
+Structural insertion (instead of hooks) means the hardened model survives
+the deep copies the fault injector performs, and the injectable layers keep
+their order, so the *exact same* fault matrix can be replayed against the
+unprotected and the hardened model — the tight coupling of fault-free,
+faulty and enhanced models the paper calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module, RemovableHandle
+
+
+@dataclass
+class ActivationBounds:
+    """Per-layer activation bounds recorded during fault-free calibration."""
+
+    lower: dict[str, float]
+    upper: dict[str, float]
+
+    def bound_for(self, layer_name: str) -> tuple[float, float]:
+        """Return ``(lower, upper)`` for a layer (infinite if not recorded)."""
+        return (
+            self.lower.get(layer_name, -np.inf),
+            self.upper.get(layer_name, np.inf),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"lower": dict(self.lower), "upper": dict(self.upper)}
+
+    def global_bounds(self) -> tuple[float, float]:
+        """Return the widest ``(lower, upper)`` pair across all layers."""
+        if not self.lower or not self.upper:
+            return (-np.inf, np.inf)
+        return (min(self.lower.values()), max(self.upper.values()))
+
+
+class Ranger(Module):
+    """Clamp activations into the fault-free range ``[lower, upper]``.
+
+    NaN values (which cannot be clamped meaningfully) are replaced by the
+    upper bound, mirroring the published Ranger behaviour of mapping
+    non-finite values back into the valid operating range.
+    """
+
+    def __init__(self, lower: float, upper: float):
+        super().__init__()
+        if lower > upper:
+            raise ValueError(f"lower bound {lower} exceeds upper bound {upper}")
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        x = np.nan_to_num(x, nan=self.upper, posinf=self.upper, neginf=self.lower)
+        return np.clip(x, self.lower, self.upper)
+
+    def extra_repr(self) -> str:
+        return f"lower={self.lower}, upper={self.upper}"
+
+
+class Clipper(Module):
+    """Zero out activations outside the fault-free range ``[lower, upper]``."""
+
+    def __init__(self, lower: float, upper: float):
+        super().__init__()
+        if lower > upper:
+            raise ValueError(f"lower bound {lower} exceeds upper bound {upper}")
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        x = np.nan_to_num(x, nan=np.inf, posinf=np.inf, neginf=-np.inf)
+        out_of_range = (x < self.lower) | (x > self.upper)
+        return np.where(out_of_range, 0.0, x).astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return f"lower={self.lower}, upper={self.upper}"
+
+
+class ProtectedLayer(Module):
+    """Wrapper running a compute layer followed by its range-supervision guard."""
+
+    def __init__(self, layer: Module, guard: Module):
+        super().__init__()
+        self.layer = layer
+        self.guard = guard
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.guard(self.layer(x))
+
+
+PROTECTION_TYPES = {"ranger": Ranger, "clipper": Clipper}
+
+
+def _default_layer_types() -> tuple[type, ...]:
+    from repro import nn as _nn
+
+    return (_nn.Conv2d, _nn.Conv3d, _nn.Linear)
+
+
+def collect_activation_bounds(
+    model: Module,
+    batches: list[np.ndarray],
+    layer_types: tuple[type, ...] | None = None,
+    margin: float = 1.05,
+) -> ActivationBounds:
+    """Record per-layer activation bounds from fault-free calibration batches.
+
+    Args:
+        model: the fault-free model.
+        batches: list of input batches (``(N, ...)`` arrays) used to observe
+            the fault-free activation ranges.
+        layer_types: which module classes to monitor; defaults to the
+            injectable compute layers (conv / linear).
+        margin: multiplicative safety margin applied to the observed bounds.
+
+    Returns:
+        :class:`ActivationBounds` mapping layer names to lower/upper bounds.
+    """
+    if layer_types is None:
+        layer_types = _default_layer_types()
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    lower: dict[str, float] = {}
+    upper: dict[str, float] = {}
+    handles: list[RemovableHandle] = []
+
+    def make_hook(layer_name: str):
+        def hook(module, inputs, output):
+            values = np.asarray(output)
+            if values.size == 0 or not np.issubdtype(values.dtype, np.floating):
+                return None
+            low = float(values.min())
+            high = float(values.max())
+            lower[layer_name] = min(lower.get(layer_name, low), low)
+            upper[layer_name] = max(upper.get(layer_name, high), high)
+            return None
+
+        return hook
+
+    for name, module in model.named_modules():
+        if name and isinstance(module, layer_types):
+            handles.append(module.register_forward_hook(make_hook(name)))
+    try:
+        for batch in batches:
+            model(np.asarray(batch, dtype=np.float32))
+    finally:
+        for handle in handles:
+            handle.remove()
+
+    lower = {name: value * margin if value < 0 else value / margin for name, value in lower.items()}
+    upper = {name: value * margin if value > 0 else value / margin for name, value in upper.items()}
+    return ActivationBounds(lower=lower, upper=upper)
+
+
+def apply_protection(
+    model: Module,
+    bounds: ActivationBounds,
+    protection: str = "ranger",
+    layer_types: tuple[type, ...] | None = None,
+) -> Module:
+    """Return a hardened copy of ``model`` with range supervision after each layer.
+
+    Every monitored compute layer ``parent.child`` is replaced (in a deep copy
+    of the model) by ``ProtectedLayer(child, guard)`` where the guard clamps
+    (Ranger) or zeroes (Clipper) activations outside the calibrated bounds.
+
+    Args:
+        model: the model to harden (left unmodified).
+        bounds: activation bounds from :func:`collect_activation_bounds`.
+        protection: ``"ranger"`` or ``"clipper"``.
+        layer_types: which module classes to protect; defaults to the
+            injectable compute layers.
+
+    Returns:
+        A hardened copy of the model.  The injectable layers keep their
+        relative order, so fault matrices generated against the unprotected
+        model replay exactly on the hardened one.
+    """
+    if protection not in PROTECTION_TYPES:
+        raise KeyError(f"unknown protection {protection!r}; choose from {sorted(PROTECTION_TYPES)}")
+    if layer_types is None:
+        layer_types = _default_layer_types()
+    protected = model.clone()
+    protection_class = PROTECTION_TYPES[protection]
+
+    # Collect replacements first: mutating _modules while iterating named_modules
+    # would skip entries.
+    replacements: list[tuple[Module, str, Module]] = []
+    for name, module in protected.named_modules():
+        if not name or not isinstance(module, layer_types):
+            continue
+        low, high = bounds.bound_for(name)
+        if not np.isfinite(low) and not np.isfinite(high):
+            continue
+        if not np.isfinite(low):
+            low = -abs(high)
+        if not np.isfinite(high):
+            high = abs(low)
+        parent_path, _, child_name = name.rpartition(".")
+        parent = protected.get_submodule(parent_path)
+        replacements.append((parent, child_name, protection_class(low, high)))
+
+    for parent, child_name, guard in replacements:
+        original = parent._modules[child_name]
+        parent._modules[child_name] = ProtectedLayer(original, guard)
+    return protected
+
+
+def count_protected_layers(model: Module) -> int:
+    """Number of :class:`ProtectedLayer` wrappers in a model tree."""
+    return sum(1 for _, module in model.named_modules() if isinstance(module, ProtectedLayer))

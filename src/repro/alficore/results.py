@@ -1,0 +1,232 @@
+"""Result persistence.
+
+A PyTorchALFI run produces up to three sets of outputs (Section V-B):
+
+a) **meta-files** — a ``scenario.yml`` holding every run-time parameter of
+   the campaign plus pointers to the model and data loader used;
+b) **fault files** — binary files with the pre-generated fault locations and,
+   after the run, the applied bit-flip directions and original/corrupted
+   values of the targeted neurons/weights (plus monitored NaN/Inf events);
+c) **model outputs** — CSV files for classification models (top-5 classes
+   and probabilities together with ground truth and fault positions) and
+   JSON files for object detection models (predicted boxes, scores, classes
+   per image), with the fault-free ("golden") outputs stored separately.
+
+:class:`CampaignResultWriter` bundles these writers behind one object so the
+high-level test classes only have to hand over records.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+import yaml
+
+from repro.alficore.faultmatrix import FaultMatrix
+from repro.alficore.scenario import ScenarioConfig
+
+
+def load_fault_file(path: str | Path) -> FaultMatrix:
+    """Load a binary fault file written by a previous campaign."""
+    return FaultMatrix.load(path)
+
+
+@dataclass
+class ClassificationRecord:
+    """One row of the classification result CSV."""
+
+    image_id: int
+    file_name: str
+    ground_truth: int
+    top5_classes: list[int]
+    top5_probabilities: list[float]
+    fault_positions: list[dict] = field(default_factory=list)
+    nan_detected: bool = False
+    inf_detected: bool = False
+    model_tag: str = "corrupted"
+
+    def as_row(self) -> dict:
+        """Flatten into a CSV-writable dictionary."""
+        row = {
+            "image_id": self.image_id,
+            "file_name": self.file_name,
+            "ground_truth": self.ground_truth,
+            "model_tag": self.model_tag,
+            "nan_detected": int(self.nan_detected),
+            "inf_detected": int(self.inf_detected),
+        }
+        for rank, (cls, prob) in enumerate(zip(self.top5_classes, self.top5_probabilities), start=1):
+            row[f"top{rank}_class"] = int(cls)
+            row[f"top{rank}_prob"] = float(prob)
+        row["fault_positions"] = json.dumps(self.fault_positions, default=_json_default)
+        return row
+
+
+@dataclass
+class DetectionRecord:
+    """Per-image detection results destined for the JSON output files."""
+
+    image_id: int
+    file_name: str
+    boxes: list[list[float]]
+    scores: list[float]
+    labels: list[int]
+    fault_positions: list[dict] = field(default_factory=list)
+    nan_detected: bool = False
+    inf_detected: bool = False
+    model_tag: str = "corrupted"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "image_id": self.image_id,
+            "file_name": self.file_name,
+            "boxes": self.boxes,
+            "scores": self.scores,
+            "labels": self.labels,
+            "fault_positions": self.fault_positions,
+            "nan_detected": self.nan_detected,
+            "inf_detected": self.inf_detected,
+            "model_tag": self.model_tag,
+        }
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+class CampaignResultWriter:
+    """Write the meta / fault / output files of one fault injection campaign.
+
+    Args:
+        output_dir: directory all files of the campaign are written into.
+        campaign_name: prefix used for all file names.
+    """
+
+    def __init__(self, output_dir: str | Path, campaign_name: str = "campaign"):
+        self.output_dir = Path(output_dir)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        self.campaign_name = campaign_name
+
+    # ------------------------------------------------------------------ #
+    # a) meta-files
+    # ------------------------------------------------------------------ #
+    def write_meta(self, scenario: ScenarioConfig, extra: dict | None = None) -> Path:
+        """Write the ``scenario.yml`` meta file (all run-time parameters)."""
+        path = self.output_dir / f"{self.campaign_name}_scenario.yml"
+        document = {
+            "scenario": scenario.as_dict(),
+            "campaign_name": self.campaign_name,
+        }
+        if extra:
+            document["run_info"] = _to_plain(extra)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# PyTorchALFI campaign meta file\n")
+            yaml.safe_dump(document, handle, default_flow_style=False, sort_keys=True)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # b) fault files
+    # ------------------------------------------------------------------ #
+    def write_fault_matrix(self, matrix: FaultMatrix) -> Path:
+        """Persist the pre-generated fault matrix (binary, reusable)."""
+        path = self.output_dir / f"{self.campaign_name}_faults.npz"
+        return matrix.save(path)
+
+    def write_applied_faults(self, applied: list[dict]) -> Path:
+        """Persist the applied-fault log (original/corrupted values, directions)."""
+        path = self.output_dir / f"{self.campaign_name}_applied_faults.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(applied, handle, indent=2, default=_json_default)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # c) model outputs
+    # ------------------------------------------------------------------ #
+    def write_classification_csv(
+        self,
+        records: list[ClassificationRecord],
+        tag: str = "corrupted",
+    ) -> Path:
+        """Write classification outputs (top-5 + fault positions) as CSV."""
+        path = self.output_dir / f"{self.campaign_name}_{tag}_results.csv"
+        if not records:
+            path.write_text("")
+            return path
+        rows = [record.as_row() for record in records]
+        fieldnames = list(rows[0].keys())
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def write_detection_json(
+        self,
+        records: list[DetectionRecord],
+        tag: str = "corrupted",
+    ) -> Path:
+        """Write per-image detection outputs as a JSON file."""
+        path = self.output_dir / f"{self.campaign_name}_{tag}_results.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([record.as_dict() for record in records], handle, indent=2, default=_json_default)
+        return path
+
+    def write_ground_truth_json(self, targets: list[dict]) -> Path:
+        """Write the detection ground-truth annotations (CoCo-style)."""
+        path = self.output_dir / f"{self.campaign_name}_ground_truth.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_to_plain(targets), handle, indent=2, default=_json_default)
+        return path
+
+    def write_kpi_summary(self, kpis: dict, tag: str = "summary") -> Path:
+        """Write the computed KPIs (SDE/DUE rates, accuracy, mAP...) as JSON."""
+        path = self.output_dir / f"{self.campaign_name}_{tag}_kpis.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_to_plain(kpis), handle, indent=2, default=_json_default)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # readers (for analysis / tests)
+    # ------------------------------------------------------------------ #
+    def read_classification_csv(self, tag: str = "corrupted") -> list[dict]:
+        """Read back a classification result CSV as a list of dictionaries."""
+        path = self.output_dir / f"{self.campaign_name}_{tag}_results.csv"
+        if not path.exists():
+            raise FileNotFoundError(f"no classification results for tag {tag!r} at {path}")
+        with open(path, newline="", encoding="utf-8") as handle:
+            return list(csv.DictReader(handle))
+
+    def read_detection_json(self, tag: str = "corrupted") -> list[dict]:
+        """Read back a detection result JSON file."""
+        path = self.output_dir / f"{self.campaign_name}_{tag}_results.json"
+        if not path.exists():
+            raise FileNotFoundError(f"no detection results for tag {tag!r} at {path}")
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def _to_plain(value: Any):
+    """Recursively convert numpy scalars/arrays into plain Python types."""
+    if isinstance(value, dict):
+        return {key: _to_plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_plain(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

@@ -1,0 +1,224 @@
+"""Scenario configuration (the ``default.yml`` of the paper).
+
+All parameters of a fault injection campaign are defined in a single
+configuration object that can be loaded from / stored to a yml file, is
+validated on construction, and is accessible (and modifiable) at run time for
+iterative experiments via ``ptfiwrap.get_scenario()`` /
+``ptfiwrap.set_scenario()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import yaml
+
+# Allowed values for the categorical scenario fields.
+INJECTION_TARGETS = ("neurons", "weights")
+VALUE_TYPES = ("bitflip", "number", "stuck_at")
+INJECTION_POLICIES = ("per_image", "per_batch", "per_epoch")
+FAULT_PERSISTENCE = ("transient", "permanent")
+LAYER_TYPES = ("conv2d", "conv3d", "fcc")
+SUPPORTED_QUANTIZATION = ("float32", "float16", "float64", "int8", "int16", "int32")
+
+
+@dataclass
+class ScenarioConfig:
+    """Complete description of a fault injection campaign.
+
+    The field names follow the paper's ``default.yml``: the total number of
+    pre-generated faults is ``dataset_size * num_runs * max_faults_per_image``
+    (Section V-C), faults target either neurons or weights, values are
+    corrupted by bit flips within ``rnd_bit_range`` or replaced by random
+    numbers in ``[rnd_value_min, rnd_value_max]``, and the fault locations can
+    be restricted to layer types, explicit layer ranges and optionally
+    weighted by relative layer size (Eq. 1).
+    """
+
+    # ---------------------------------------------------------------- #
+    # campaign extent
+    # ---------------------------------------------------------------- #
+    dataset_size: int = 10
+    num_runs: int = 1
+    max_faults_per_image: int = 1
+    batch_size: int = 1
+
+    # ---------------------------------------------------------------- #
+    # fault target and model
+    # ---------------------------------------------------------------- #
+    injection_target: str = "neurons"  # "neurons" | "weights"
+    inj_policy: str = "per_image"  # "per_image" | "per_batch" | "per_epoch"
+    fault_persistence: str = "transient"  # "transient" | "permanent"
+
+    # ---------------------------------------------------------------- #
+    # value corruption
+    # ---------------------------------------------------------------- #
+    rnd_value_type: str = "bitflip"  # "bitflip" | "number" | "stuck_at"
+    rnd_bit_range: tuple[int, int] = (0, 31)
+    rnd_value_min: float = -1.0
+    rnd_value_max: float = 1.0
+    quantization: str = "float32"
+    stuck_at_value: int = 1
+
+    # ---------------------------------------------------------------- #
+    # location selection
+    # ---------------------------------------------------------------- #
+    layer_types: tuple[str, ...] = ("conv2d", "conv3d", "fcc")
+    layer_range: tuple[int, int] | None = None  # inclusive (start, end); None = all layers
+    weighted_layer_selection: bool = True
+
+    # ---------------------------------------------------------------- #
+    # bookkeeping
+    # ---------------------------------------------------------------- #
+    model_name: str = "model"
+    dataset_name: str = "dataset"
+    random_seed: int = 1234
+    fault_file: str | None = None  # path of a pre-generated fault matrix to reuse
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check all fields for consistency; raise ``ValueError`` on problems."""
+        if self.dataset_size <= 0:
+            raise ValueError(f"dataset_size must be positive, got {self.dataset_size}")
+        if self.num_runs <= 0:
+            raise ValueError(f"num_runs must be positive, got {self.num_runs}")
+        if self.max_faults_per_image <= 0:
+            raise ValueError(
+                f"max_faults_per_image must be positive, got {self.max_faults_per_image}"
+            )
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.injection_target not in INJECTION_TARGETS:
+            raise ValueError(
+                f"injection_target must be one of {INJECTION_TARGETS}, got {self.injection_target!r}"
+            )
+        if self.inj_policy not in INJECTION_POLICIES:
+            raise ValueError(
+                f"inj_policy must be one of {INJECTION_POLICIES}, got {self.inj_policy!r}"
+            )
+        if self.fault_persistence not in FAULT_PERSISTENCE:
+            raise ValueError(
+                f"fault_persistence must be one of {FAULT_PERSISTENCE}, got {self.fault_persistence!r}"
+            )
+        if self.rnd_value_type not in VALUE_TYPES:
+            raise ValueError(
+                f"rnd_value_type must be one of {VALUE_TYPES}, got {self.rnd_value_type!r}"
+            )
+        if self.quantization not in SUPPORTED_QUANTIZATION:
+            raise ValueError(
+                f"quantization must be one of {SUPPORTED_QUANTIZATION}, got {self.quantization!r}"
+            )
+        self.rnd_bit_range = (int(self.rnd_bit_range[0]), int(self.rnd_bit_range[1]))
+        low, high = self.rnd_bit_range
+        max_bit = {"float32": 31, "float64": 63, "float16": 15, "int8": 7, "int16": 15, "int32": 31}[
+            self.quantization
+        ]
+        if not (0 <= low <= high <= max_bit):
+            raise ValueError(
+                f"rnd_bit_range {self.rnd_bit_range} invalid for {self.quantization} "
+                f"(bits 0..{max_bit})"
+            )
+        if self.rnd_value_min > self.rnd_value_max:
+            raise ValueError(
+                f"rnd_value_min ({self.rnd_value_min}) must not exceed rnd_value_max "
+                f"({self.rnd_value_max})"
+            )
+        if self.stuck_at_value not in (0, 1):
+            raise ValueError(f"stuck_at_value must be 0 or 1, got {self.stuck_at_value}")
+        self.layer_types = tuple(self.layer_types)
+        for layer_type in self.layer_types:
+            if layer_type not in LAYER_TYPES:
+                raise ValueError(
+                    f"layer type {layer_type!r} not supported; choose from {LAYER_TYPES}"
+                )
+        if not self.layer_types:
+            raise ValueError("layer_types must contain at least one entry")
+        if self.layer_range is not None:
+            self.layer_range = (int(self.layer_range[0]), int(self.layer_range[1]))
+            if self.layer_range[0] > self.layer_range[1] or self.layer_range[0] < 0:
+                raise ValueError(f"invalid layer_range {self.layer_range}")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def total_faults(self) -> int:
+        """Number of faults to pre-generate: ``n = a * b * c`` (Section V-C)."""
+        return self.dataset_size * self.num_runs * self.max_faults_per_image
+
+    @property
+    def number_of_inferences(self) -> int:
+        """Number of single-image inferences in the campaign."""
+        return self.dataset_size * self.num_runs
+
+    # ------------------------------------------------------------------ #
+    # conversion / persistence
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        """Return the configuration as a plain (yml-serialisable) dictionary."""
+        raw = dataclasses.asdict(self)
+        raw["rnd_bit_range"] = list(self.rnd_bit_range)
+        raw["layer_types"] = list(self.layer_types)
+        raw["layer_range"] = list(self.layer_range) if self.layer_range is not None else None
+        return raw
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Build a configuration from a dictionary, ignoring unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        filtered = {key: value for key, value in data.items() if key in known}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown scenario keys: {sorted(unknown)}")
+        if "rnd_bit_range" in filtered and filtered["rnd_bit_range"] is not None:
+            filtered["rnd_bit_range"] = tuple(filtered["rnd_bit_range"])
+        if "layer_types" in filtered and filtered["layer_types"] is not None:
+            filtered["layer_types"] = tuple(filtered["layer_types"])
+        if "layer_range" in filtered and filtered["layer_range"] is not None:
+            filtered["layer_range"] = tuple(filtered["layer_range"])
+        return cls(**filtered)
+
+    def copy(self, **overrides) -> "ScenarioConfig":
+        """Return a copy with selected fields replaced (and re-validated)."""
+        data = self.as_dict()
+        data.update(overrides)
+        return ScenarioConfig.from_dict(data)
+
+
+def default_scenario(**overrides) -> ScenarioConfig:
+    """Return the default scenario, optionally with overridden fields."""
+    return ScenarioConfig().copy(**overrides) if overrides else ScenarioConfig()
+
+
+def save_scenario(config: ScenarioConfig, path: str | Path) -> Path:
+    """Write a scenario configuration to a yml file (the meta-file of a run)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "# PyTorchALFI scenario configuration": None,
+    }
+    del document  # header comment is emitted manually below
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# PyTorchALFI scenario configuration\n")
+        handle.write("# Total faults = dataset_size * num_runs * max_faults_per_image\n")
+        yaml.safe_dump(config.as_dict(), handle, default_flow_style=False, sort_keys=True)
+    return path
+
+
+def load_scenario(path: str | Path) -> ScenarioConfig:
+    """Load a scenario configuration from a yml file."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"scenario file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        data = yaml.safe_load(handle) or {}
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario file {path} does not contain a mapping")
+    return ScenarioConfig.from_dict(data)

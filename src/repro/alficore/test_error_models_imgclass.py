@@ -1,0 +1,308 @@
+"""High-level campaign runner for image classification networks.
+
+``TestErrorModels_ImgClass`` encapsulates the complete workflow of Section
+V-B for classification CNNs: it wraps the dataset with the metadata-enriched
+loader, builds the ``ptfiwrap`` wrapper, pre-generates (or reloads) the fault
+matrix, runs golden / corrupted / optionally hardened inference in lock-step
+over the dataset, monitors NaN/Inf events, writes the three result file sets
+(meta yml, fault binaries, CSV outputs) and finally computes the KPIs
+(top-k accuracy, masked/SDE/DUE rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.alficore.monitoring import InferenceMonitor, output_has_nan_or_inf
+from repro.alficore.results import CampaignResultWriter, ClassificationRecord
+from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
+from repro.alficore.wrapper import ptfiwrap
+from repro.data.wrapper import AlfiDataLoaderWrapper
+from repro.eval.classification import (
+    ClassificationCampaignResult,
+    evaluate_classification_campaign,
+    top_k_predictions,
+)
+from repro.nn.module import Module
+
+
+@dataclass
+class ImgClassCampaignOutput:
+    """Everything a classification campaign produces."""
+
+    corrupted: ClassificationCampaignResult
+    resil: ClassificationCampaignResult | None
+    golden_logits: np.ndarray
+    corrupted_logits: np.ndarray
+    resil_logits: np.ndarray | None
+    labels: np.ndarray
+    due_flags: np.ndarray
+    output_files: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly KPI summary."""
+        summary = {"corrupted": self.corrupted.as_dict(), "output_files": dict(self.output_files)}
+        if self.resil is not None:
+            summary["resil"] = self.resil.as_dict()
+        return summary
+
+
+class TestErrorModels_ImgClass:
+    """Turnkey fault injection campaigns for classification models.
+
+    Args:
+        model: the fault-free baseline classifier.
+        resil_model: optional hardened ("resil") variant of the same
+            architecture; it is evaluated under the exact same faults.
+        model_name: name used in result files.
+        dataset: a map-style dataset yielding ``(image, label)`` tuples.
+        config_location: optional path of a scenario yml file.
+        scenario: optional explicit :class:`ScenarioConfig` (overrides
+            ``config_location``).
+        output_dir: directory for the result files; ``None`` disables writing.
+        input_shape: per-sample input shape used for model profiling.
+        dl_shuffle: shuffle the dataset between epochs.
+        device: accepted for API compatibility; unused by the numpy substrate.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        resil_model: Module | None = None,
+        model_name: str = "model",
+        dataset=None,
+        config_location: str | Path | None = None,
+        scenario: ScenarioConfig | None = None,
+        output_dir: str | Path | None = None,
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        dl_shuffle: bool = False,
+        device: str = "cpu",
+    ):
+        if dataset is None:
+            raise ValueError("a dataset is required to run a fault injection campaign")
+        self.model = model.eval()
+        self.resil_model = resil_model.eval() if resil_model is not None else None
+        self.model_name = model_name
+        self.dataset = dataset
+        self.input_shape = tuple(input_shape)
+        self.dl_shuffle = dl_shuffle
+        self.device = device
+        if scenario is not None:
+            self._base_scenario = scenario
+        elif config_location is not None:
+            self._base_scenario = load_scenario(config_location)
+        else:
+            self._base_scenario = default_scenario()
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+        self.wrapper: ptfiwrap | None = None
+        self.resil_wrapper: ptfiwrap | None = None
+
+    # ------------------------------------------------------------------ #
+    # campaign entry point
+    # ------------------------------------------------------------------ #
+    def test_rand_ImgClass_SBFs_inj(
+        self,
+        fault_file: str = "",
+        num_faults: int = 1,
+        inj_policy: str = "per_image",
+        num_runs: int = 1,
+    ) -> ImgClassCampaignOutput:
+        """Run a random single/multi bit-flip injection campaign.
+
+        Args:
+            fault_file: optional path of a previously stored fault matrix to
+                replay; empty string generates a fresh fault set.
+            num_faults: faults applied concurrently per image
+                (``max_faults_per_image``).
+            inj_policy: ``per_image``, ``per_batch`` or ``per_epoch``.
+            num_runs: number of epochs over the dataset.
+
+        Returns:
+            :class:`ImgClassCampaignOutput` with KPI objects, raw logits and
+            the paths of all written result files.
+        """
+        scenario = self._base_scenario.copy(
+            dataset_size=len(self.dataset),
+            max_faults_per_image=num_faults,
+            inj_policy=inj_policy,
+            num_runs=num_runs,
+            model_name=self.model_name,
+            # The campaign loop below feeds images one at a time, so fault
+            # batch positions must stay within a batch of one.
+            batch_size=1,
+        )
+        self.wrapper = ptfiwrap(self.model, scenario=scenario, input_shape=self.input_shape)
+        if fault_file:
+            self.wrapper.update_scenario(fault_file=fault_file)
+
+        fault_matrix = self.wrapper.get_fault_matrix()
+        if self.resil_model is not None:
+            self.resil_wrapper = ptfiwrap(
+                self.resil_model, scenario=scenario, input_shape=self.input_shape
+            )
+            self.resil_wrapper.set_fault_matrix(fault_matrix)
+
+        loader = AlfiDataLoaderWrapper(
+            self.dataset, batch_size=1, shuffle=self.dl_shuffle, seed=scenario.random_seed
+        )
+        return self._run_campaign(scenario, loader)
+
+    # ------------------------------------------------------------------ #
+    # campaign execution
+    # ------------------------------------------------------------------ #
+    def _run_campaign(
+        self,
+        scenario: ScenarioConfig,
+        loader: AlfiDataLoaderWrapper,
+    ) -> ImgClassCampaignOutput:
+        assert self.wrapper is not None
+        golden_logits: list[np.ndarray] = []
+        corrupted_logits: list[np.ndarray] = []
+        resil_logits: list[np.ndarray] = []
+        resil_golden_logits: list[np.ndarray] = []
+        labels: list[int] = []
+        due_flags: list[bool] = []
+        corrupted_records: list[ClassificationRecord] = []
+        golden_records: list[ClassificationRecord] = []
+        resil_records: list[ClassificationRecord] = []
+
+        group_index = 0
+        for epoch in range(scenario.num_runs):
+            for batch in loader:
+                record = batch[0]
+                image = record.image[None, ...]
+                label = int(record.target)
+                golden_out = np.asarray(self.model(image))
+                # Snapshot the fault log first: weight faults are recorded while
+                # the corrupted model is built, neuron faults during inference.
+                applied_before = len(self.wrapper.fault_injection.applied_faults)
+                corrupted_model = self.wrapper.corrupted_model_for_group(group_index)
+                resil_model = (
+                    self.resil_wrapper.corrupted_model_for_group(group_index)
+                    if self.resil_wrapper is not None
+                    else None
+                )
+                monitor = InferenceMonitor(corrupted_model)
+                with monitor:
+                    corrupted_out = np.asarray(corrupted_model(image))
+                monitor_result = monitor.collect()
+                applied = [
+                    fault.as_dict()
+                    for fault in self.wrapper.fault_injection.applied_faults[applied_before:]
+                ]
+                out_nan, out_inf = output_has_nan_or_inf(corrupted_out)
+                nan_detected = monitor_result.nan_detected or out_nan
+                inf_detected = monitor_result.inf_detected or out_inf
+
+                golden_logits.append(golden_out[0])
+                corrupted_logits.append(corrupted_out[0])
+                labels.append(label)
+                due_flags.append(nan_detected or inf_detected)
+
+                golden_records.append(
+                    self._make_record(record, label, golden_out, [], False, False, "golden")
+                )
+                corrupted_records.append(
+                    self._make_record(
+                        record, label, corrupted_out, applied, nan_detected, inf_detected, "corrupted"
+                    )
+                )
+                if resil_model is not None:
+                    # The hardened model is judged against its *own* fault-free
+                    # baseline, so that range clamping of rare fault-free
+                    # activations is not misattributed to the injected fault.
+                    resil_golden_logits.append(np.asarray(self.resil_model(image))[0])
+                    resil_out = np.asarray(resil_model(image))
+                    resil_nan, resil_inf = output_has_nan_or_inf(resil_out)
+                    resil_logits.append(resil_out[0])
+                    resil_records.append(
+                        self._make_record(
+                            record, label, resil_out, applied, resil_nan, resil_inf, "resil"
+                        )
+                    )
+                group_index += 1
+
+        golden_arr = np.stack(golden_logits)
+        corrupted_arr = np.stack(corrupted_logits)
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        due_arr = np.asarray(due_flags, dtype=bool)
+        corrupted_result = evaluate_classification_campaign(
+            golden_arr, corrupted_arr, labels_arr, due_arr, model_name=self.model_name
+        )
+        resil_result = None
+        resil_arr = None
+        if resil_logits:
+            resil_arr = np.stack(resil_logits)
+            resil_golden_arr = np.stack(resil_golden_logits)
+            resil_result = evaluate_classification_campaign(
+                resil_golden_arr, resil_arr, labels_arr, model_name=f"{self.model_name}_resil"
+            )
+
+        output_files = self._write_outputs(
+            scenario, golden_records, corrupted_records, resil_records, corrupted_result, resil_result
+        )
+        return ImgClassCampaignOutput(
+            corrupted=corrupted_result,
+            resil=resil_result,
+            golden_logits=golden_arr,
+            corrupted_logits=corrupted_arr,
+            resil_logits=resil_arr,
+            labels=labels_arr,
+            due_flags=due_arr,
+            output_files=output_files,
+        )
+
+    def _make_record(
+        self,
+        record,
+        label: int,
+        logits: np.ndarray,
+        applied: list[dict],
+        nan_detected: bool,
+        inf_detected: bool,
+        tag: str,
+    ) -> ClassificationRecord:
+        classes, probabilities = top_k_predictions(np.asarray(logits), k=5)
+        return ClassificationRecord(
+            image_id=record.image_id,
+            file_name=record.file_name,
+            ground_truth=label,
+            top5_classes=[int(c) for c in classes[0]],
+            top5_probabilities=[float(p) for p in probabilities[0]],
+            fault_positions=applied,
+            nan_detected=nan_detected,
+            inf_detected=inf_detected,
+            model_tag=tag,
+        )
+
+    def _write_outputs(
+        self,
+        scenario: ScenarioConfig,
+        golden_records: list[ClassificationRecord],
+        corrupted_records: list[ClassificationRecord],
+        resil_records: list[ClassificationRecord],
+        corrupted_result: ClassificationCampaignResult,
+        resil_result: ClassificationCampaignResult | None,
+    ) -> dict[str, str]:
+        if self.output_dir is None or self.wrapper is None:
+            return {}
+        writer = CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
+        paths = {
+            "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
+            "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
+            "applied_faults": str(
+                writer.write_applied_faults([f.as_dict() for f in self.wrapper.fault_injection.applied_faults])
+            ),
+            "golden_csv": str(writer.write_classification_csv(golden_records, tag="golden")),
+            "corrupted_csv": str(writer.write_classification_csv(corrupted_records, tag="corrupted")),
+        }
+        kpis = {"corrupted": corrupted_result.as_dict()}
+        if resil_records:
+            paths["resil_csv"] = str(writer.write_classification_csv(resil_records, tag="resil"))
+        if resil_result is not None:
+            kpis["resil"] = resil_result.as_dict()
+        paths["kpis"] = str(writer.write_kpi_summary(kpis))
+        return paths

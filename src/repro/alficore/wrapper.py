@@ -1,0 +1,256 @@
+"""``ptfiwrap`` — the low-level integration wrapper.
+
+This is the object the paper's Listing 1 revolves around::
+
+    from repro.alficore import ptfiwrap
+
+    wrapper = ptfiwrap(model=net)
+    fault_iter = wrapper.get_fimodel_iter()
+    for epoch in range(num_runs):
+        for image, label in dataset:
+            corrupted_model = next(fault_iter)
+            golden = net(image)
+            corrupted = corrupted_model(image)
+
+The wrapper loads the scenario configuration (``scenarios/default.yml`` by
+default), profiles the model, pre-generates the complete fault matrix for
+the campaign, and exposes an iterator that returns the original model with
+the next group of faults applied at each call.  ``get_scenario()`` /
+``set_scenario()`` allow iterative experiments (layer sweeps, fault count
+sweeps, switching between neuron and weight injection) without manual
+reconfiguration: setting a new scenario re-generates the fault matrix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator
+from repro.alficore.policies import faults_required
+from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
+from repro.nn.module import Module
+from repro.pytorchfi.core import FaultInjection
+from repro.pytorchfi.errormodels import (
+    BitFlipErrorModel,
+    ErrorModel,
+    RandomValueErrorModel,
+    StuckAtErrorModel,
+)
+
+DEFAULT_SCENARIO_LOCATION = Path("scenarios") / "default.yml"
+
+
+def _error_model_from_scenario(scenario: ScenarioConfig) -> ErrorModel:
+    """Build the value-corruption error model the scenario asks for.
+
+    Transient faults are modelled as bit flips (or random value replacement),
+    permanent faults as stuck-at faults: a permanently faulty cell always
+    reads the stuck value, regardless of what the original bit was.
+    """
+    if scenario.rnd_value_type == "stuck_at" or (
+        scenario.fault_persistence == "permanent" and scenario.rnd_value_type == "bitflip"
+    ):
+        return StuckAtErrorModel(
+            bit_position=scenario.rnd_bit_range[1],
+            stuck_value=scenario.stuck_at_value,
+            dtype=scenario.quantization,
+        )
+    if scenario.rnd_value_type == "bitflip":
+        return BitFlipErrorModel(bit_range=scenario.rnd_bit_range, dtype=scenario.quantization)
+    return RandomValueErrorModel(
+        min_value=scenario.rnd_value_min, max_value=scenario.rnd_value_max
+    )
+
+
+class ptfiwrap:
+    """Wrap a trained model for large-scale fault injection.
+
+    Args:
+        model: the fault-free baseline model (never modified in place).
+        scenario: an explicit :class:`ScenarioConfig`.  If omitted, the
+            wrapper looks for ``scenarios/default.yml`` below ``config_dir``
+            (or the current working directory) and otherwise falls back to
+            the built-in defaults.
+        input_shape: per-sample input shape used to profile activation shapes.
+        config_dir: directory in which to look for ``scenarios/default.yml``.
+        rng: optional random generator; defaults to one seeded from the
+            scenario's ``random_seed``.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scenario: ScenarioConfig | None = None,
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        config_dir: str | Path | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.model = model
+        self.input_shape = tuple(input_shape)
+        self._scenario = scenario if scenario is not None else self._load_default_scenario(config_dir)
+        self._rng = rng if rng is not None else np.random.default_rng(self._scenario.random_seed)
+        self._fi: FaultInjection | None = None
+        self._fault_matrix: FaultMatrix | None = None
+        self._cursor = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _load_default_scenario(config_dir: str | Path | None) -> ScenarioConfig:
+        base = Path(config_dir) if config_dir is not None else Path.cwd()
+        candidate = base / DEFAULT_SCENARIO_LOCATION
+        if candidate.exists():
+            return load_scenario(candidate)
+        return default_scenario()
+
+    def _rebuild(self) -> None:
+        """(Re-)profile the model and regenerate the fault matrix."""
+        self._fi = FaultInjection(
+            self.model,
+            batch_size=self._scenario.batch_size,
+            input_shape=self.input_shape,
+            layer_types=self._scenario.layer_types,
+        )
+        if self._scenario.fault_file:
+            self._fault_matrix = FaultMatrix.load(self._scenario.fault_file)
+            if self._fault_matrix.injection_target != self._scenario.injection_target:
+                raise ValueError(
+                    "loaded fault file targets "
+                    f"{self._fault_matrix.injection_target!r} but the scenario asks for "
+                    f"{self._scenario.injection_target!r}"
+                )
+        else:
+            generator = FaultMatrixGenerator(self._fi, self._scenario, rng=self._rng)
+            self._fault_matrix = generator.generate(faults_required(self._scenario))
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # scenario access (Section V-D: iterate through a model)
+    # ------------------------------------------------------------------ #
+    def get_scenario(self) -> ScenarioConfig:
+        """Return a copy of the current scenario configuration."""
+        return self._scenario.copy()
+
+    def set_scenario(self, scenario: ScenarioConfig) -> None:
+        """Replace the scenario and regenerate the fault set for it."""
+        scenario.validate()
+        self._scenario = scenario
+        self._rebuild()
+
+    def update_scenario(self, **overrides) -> None:
+        """Convenience wrapper around :meth:`set_scenario` with field overrides."""
+        self.set_scenario(self._scenario.copy(**overrides))
+
+    # ------------------------------------------------------------------ #
+    # fault matrix access
+    # ------------------------------------------------------------------ #
+    @property
+    def fault_injection(self) -> FaultInjection:
+        """The underlying profiled injector core."""
+        assert self._fi is not None
+        return self._fi
+
+    def get_fault_matrix(self) -> FaultMatrix:
+        """Return the pre-generated fault matrix of the current campaign."""
+        assert self._fault_matrix is not None
+        return self._fault_matrix
+
+    def set_fault_matrix(self, matrix: FaultMatrix) -> None:
+        """Replace the fault matrix (e.g. one loaded from a previous run)."""
+        if matrix.injection_target != self._scenario.injection_target:
+            raise ValueError(
+                f"fault matrix targets {matrix.injection_target!r} but the scenario asks for "
+                f"{self._scenario.injection_target!r}"
+            )
+        self._fault_matrix = matrix
+        self._cursor = 0
+
+    def save_fault_matrix(self, path: str | Path) -> Path:
+        """Persist the fault matrix for reuse in later experiments."""
+        return self.get_fault_matrix().save(path)
+
+    @property
+    def applied_faults(self) -> list:
+        """Log of every corruption applied so far (original/corrupted values)."""
+        return list(self.fault_injection.applied_faults)
+
+    def num_fault_groups(self) -> int:
+        """Number of fault groups (i.e. faulty models) the matrix provides."""
+        return self.get_fault_matrix().num_faults // self._scenario.max_faults_per_image
+
+    # ------------------------------------------------------------------ #
+    # the faulty-model iterator (Listing 1)
+    # ------------------------------------------------------------------ #
+    def get_fimodel_iter(
+        self,
+        error_model: ErrorModel | None = None,
+        cycle: bool = False,
+    ) -> Iterator[Module]:
+        """Return an iterator over fault-injected model instances.
+
+        Each ``next()`` call consumes the next ``max_faults_per_image`` fault
+        columns and returns a fresh corrupted copy of the original model.  The
+        iterator is exhausted after :meth:`num_fault_groups` calls unless
+        ``cycle`` is true.
+
+        Args:
+            error_model: overrides the error model derived from the scenario.
+            cycle: restart from the first fault group after the last one.
+        """
+        model_for_faults = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
+        return self._model_generator(model_for_faults, cycle)
+
+    def _model_generator(self, error_model: ErrorModel, cycle: bool) -> Iterator[Module]:
+        group_size = self._scenario.max_faults_per_image
+        while True:
+            matrix = self.get_fault_matrix()
+            total_groups = matrix.num_faults // group_size
+            if self._cursor >= total_groups:
+                if not cycle:
+                    return
+                self._cursor = 0
+            columns = list(
+                range(self._cursor * group_size, (self._cursor + 1) * group_size)
+            )
+            self._cursor += 1
+            yield self._corrupt_with_columns(columns, error_model)
+
+    def _corrupt_with_columns(self, columns: list[int], error_model: ErrorModel) -> Module:
+        matrix = self.get_fault_matrix()
+        if self._scenario.injection_target == "neurons":
+            faults = matrix.to_neuron_faults(columns)
+            return self.fault_injection.declare_neuron_fault_injection(
+                faults, error_model=error_model, rng=self._rng
+            )
+        faults = matrix.to_weight_faults(columns)
+        return self.fault_injection.declare_weight_fault_injection(
+            faults, error_model=error_model, rng=self._rng
+        )
+
+    def corrupted_model_for_group(
+        self,
+        group_index: int,
+        error_model: ErrorModel | None = None,
+    ) -> Module:
+        """Return the corrupted model for an explicit fault group (repeatable).
+
+        Unlike the iterator this does not advance the internal cursor, which
+        makes it convenient for replaying a specific fault group against a
+        hardened model or for debugging a single fault location.
+        """
+        group_size = self._scenario.max_faults_per_image
+        total_groups = self.num_fault_groups()
+        if not 0 <= group_index < total_groups:
+            raise IndexError(f"group index {group_index} out of range (0..{total_groups - 1})")
+        error_model = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
+        columns = list(range(group_index * group_size, (group_index + 1) * group_size))
+        return self._corrupt_with_columns(columns, error_model)
+
+    def reset_iterator(self) -> None:
+        """Rewind the faulty-model iterator to the first fault group."""
+        self._cursor = 0

@@ -1,0 +1,252 @@
+"""Command-line interface for fault injection campaigns.
+
+Exposes the high-level workflows as a console script (``pytorchalfi``):
+
+* ``pytorchalfi run-imgclass``  — classification campaign over the synthetic
+  dataset with any model of the zoo, optional Ranger/Clipper hardening, full
+  result file output.
+* ``pytorchalfi run-objdet``    — object-detection campaign with IVMOD / mAP
+  KPIs over the synthetic CoCo-style dataset.
+* ``pytorchalfi analyze``       — post-process a stored campaign directory
+  (bit-wise / layer-wise vulnerability breakdown).
+
+The CLI intentionally mirrors the scenario parameters of ``default.yml`` so a
+campaign can be fully described either in the configuration file or on the
+command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.alficore import default_scenario, load_scenario
+from repro.alficore.analysis import analyze_classification_campaign, analyze_detection_campaign
+from repro.alficore.protection import apply_protection, collect_activation_bounds
+from repro.alficore.test_error_models_imgclass import TestErrorModels_ImgClass
+from repro.alficore.test_error_models_objdet import TestErrorModels_ObjDet
+from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.models import MODEL_REGISTRY, build_model
+from repro.models.detection import DETECTOR_REGISTRY, build_detector
+from repro.models.pretrained import fit_classifier_head
+from repro.visualization import bar_chart, comparison_table, sde_per_bit_chart, sde_per_layer_chart
+
+
+def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--images", type=int, default=40, help="number of dataset images")
+    parser.add_argument("--num-faults", type=int, default=1, help="faults per image")
+    parser.add_argument("--num-runs", type=int, default=1, help="epochs over the dataset")
+    parser.add_argument(
+        "--target", choices=("neurons", "weights"), default="weights", help="fault injection target"
+    )
+    parser.add_argument(
+        "--value-type", choices=("bitflip", "number", "stuck_at"), default="bitflip",
+        help="how the targeted value is corrupted",
+    )
+    parser.add_argument(
+        "--bit-range", type=int, nargs=2, default=(23, 30), metavar=("LOW", "HIGH"),
+        help="inclusive bit range for bit flips",
+    )
+    parser.add_argument(
+        "--inj-policy", choices=("per_image", "per_batch", "per_epoch"), default="per_image",
+        help="how long one fault set stays active",
+    )
+    parser.add_argument("--seed", type=int, default=1234, help="campaign random seed")
+    parser.add_argument("--scenario", type=Path, default=None, help="optional scenario yml file")
+    parser.add_argument("--fault-file", type=str, default="", help="reuse a stored fault matrix")
+    parser.add_argument("--output-dir", type=Path, default=Path("campaign_output"))
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    if args.scenario is not None:
+        scenario = load_scenario(args.scenario)
+    else:
+        scenario = default_scenario()
+    return scenario.copy(
+        injection_target=args.target,
+        rnd_value_type=args.value_type,
+        rnd_bit_range=tuple(args.bit_range),
+        random_seed=args.seed,
+    )
+
+
+def _cmd_run_imgclass(args: argparse.Namespace) -> int:
+    dataset = SyntheticClassificationDataset(
+        num_samples=args.images, num_classes=args.num_classes, noise=0.25, seed=args.data_seed
+    )
+    model = build_model(args.model, num_classes=args.num_classes, seed=args.model_seed)
+    fit_classifier_head(model, dataset, args.num_classes)
+
+    resil_model = None
+    if args.protection != "none":
+        calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
+        bounds = collect_activation_bounds(model, [calibration])
+        resil_model = apply_protection(model, bounds, args.protection)
+
+    scenario = _scenario_from_args(args)
+    runner = TestErrorModels_ImgClass(
+        model=model,
+        resil_model=resil_model,
+        model_name=args.model,
+        dataset=dataset,
+        scenario=scenario,
+        output_dir=args.output_dir,
+    )
+    output = runner.test_rand_ImgClass_SBFs_inj(
+        fault_file=args.fault_file,
+        num_faults=args.num_faults,
+        inj_policy=args.inj_policy,
+        num_runs=args.num_runs,
+    )
+
+    rows = [
+        {
+            "variant": "corrupted",
+            "golden top1": output.corrupted.golden_top1_accuracy,
+            "masked": output.corrupted.masked_rate,
+            "SDE": output.corrupted.sde_rate,
+            "DUE": output.corrupted.due_rate,
+        }
+    ]
+    if output.resil is not None:
+        rows.append(
+            {
+                "variant": f"resil ({args.protection})",
+                "golden top1": output.resil.golden_top1_accuracy,
+                "masked": output.resil.masked_rate,
+                "SDE": output.resil.sde_rate,
+                "DUE": output.resil.due_rate,
+            }
+        )
+    print(
+        comparison_table(
+            rows,
+            ["variant", "golden top1", "masked", "SDE", "DUE"],
+            title=f"{args.model}: {args.target} fault injection ({args.num_faults} fault(s)/image)",
+        )
+    )
+    print("\nresult files:")
+    for kind, path in output.output_files.items():
+        print(f"  {kind:15s} {path}")
+    return 0
+
+
+def _cmd_run_objdet(args: argparse.Namespace) -> int:
+    dataset = CocoLikeDetectionDataset(
+        num_samples=args.images, num_classes=args.num_classes, seed=args.data_seed
+    )
+    model = build_detector(args.model, num_classes=args.num_classes, seed=args.model_seed).eval()
+    scenario = _scenario_from_args(args)
+    runner = TestErrorModels_ObjDet(
+        model=model,
+        model_name=args.model,
+        dataset=dataset,
+        scenario=scenario,
+        output_dir=args.output_dir,
+        input_shape=(3, 64, 64),
+    )
+    output = runner.test_rand_ObjDet_SBFs_inj(
+        fault_file=args.fault_file,
+        num_faults=args.num_faults,
+        inj_policy=args.inj_policy,
+        num_runs=args.num_runs,
+    )
+    ivmod = output.corrupted.ivmod
+    print(
+        bar_chart(
+            {"IVMOD_SDE": ivmod.sde_rate, "IVMOD_DUE": ivmod.due_rate},
+            title=f"{args.model}: {args.target} fault injection over {args.images} images",
+            max_value=max(ivmod.sde_rate, 0.1),
+        )
+    )
+    print(f"\ngolden mAP@0.5:    {output.corrupted.golden_map['mAP']:.4f}")
+    print(f"corrupted mAP@0.5: {output.corrupted.corrupted_map['mAP']:.4f}")
+    print("\nresult files:")
+    for kind, path in output.output_files.items():
+        print(f"  {kind:15s} {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.kind == "imgclass":
+        analysis = analyze_classification_campaign(args.output_dir, args.campaign)
+    else:
+        analysis = analyze_detection_campaign(args.output_dir, args.campaign)
+    print(
+        comparison_table(
+            [
+                {
+                    "campaign": analysis.campaign_name,
+                    "inferences": analysis.num_inferences,
+                    "masked": analysis.masked_rate,
+                    "SDE": analysis.sde_rate,
+                    "DUE": analysis.due_rate,
+                }
+            ],
+            ["campaign", "inferences", "masked", "SDE", "DUE"],
+            title="Campaign post-processing",
+        )
+    )
+    if analysis.sde_by_bit:
+        print()
+        print(sde_per_bit_chart(analysis.sde_by_bit, title="corruption rate per flipped bit"))
+    if analysis.sde_by_layer:
+        print()
+        print(sde_per_layer_chart(analysis.sde_by_layer, title="corruption rate per injected layer"))
+    if analysis.flip_direction_counts:
+        print(f"\nflip directions: {dict(analysis.flip_direction_counts)}")
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(analysis.as_dict(), indent=2))
+        print(f"\nanalysis written to {args.json_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pytorchalfi",
+        description="Application-level fault injection campaigns for neural networks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    imgclass = subparsers.add_parser("run-imgclass", help="run a classification campaign")
+    imgclass.add_argument("--model", choices=sorted(MODEL_REGISTRY), default="lenet5")
+    imgclass.add_argument("--num-classes", type=int, default=10)
+    imgclass.add_argument("--protection", choices=("none", "ranger", "clipper"), default="none")
+    imgclass.add_argument("--model-seed", type=int, default=0)
+    imgclass.add_argument("--data-seed", type=int, default=0)
+    _add_common_campaign_arguments(imgclass)
+    imgclass.set_defaults(handler=_cmd_run_imgclass)
+
+    objdet = subparsers.add_parser("run-objdet", help="run an object-detection campaign")
+    objdet.add_argument("--model", choices=sorted(DETECTOR_REGISTRY), default="yolov3")
+    objdet.add_argument("--num-classes", type=int, default=5)
+    objdet.add_argument("--model-seed", type=int, default=0)
+    objdet.add_argument("--data-seed", type=int, default=0)
+    _add_common_campaign_arguments(objdet)
+    objdet.set_defaults(handler=_cmd_run_objdet)
+
+    analyze = subparsers.add_parser("analyze", help="post-process a stored campaign")
+    analyze.add_argument("--output-dir", type=Path, required=True)
+    analyze.add_argument("--campaign", type=str, required=True, help="campaign (file prefix) name")
+    analyze.add_argument("--kind", choices=("imgclass", "objdet"), default="imgclass")
+    analyze.add_argument("--json-out", type=Path, default=None, help="write the analysis as JSON")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

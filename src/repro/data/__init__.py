@@ -1,0 +1,36 @@
+"""Datasets and data loaders.
+
+The paper runs fault injection campaigns over ImageNet / CoCo / Kitti.  This
+subpackage provides:
+
+* a minimal ``Dataset`` / ``DataLoader`` pair mirroring the PyTorch API,
+* a seeded synthetic classification dataset whose images are separable by
+  class (so fault-free models achieve high accuracy and SDE measurements are
+  meaningful),
+* a synthetic CoCo-format detection dataset with JSON-compatible annotations
+  (image ids, file names, bounding boxes, category ids), and
+* the ALFI data-loader wrapper that attaches per-image metadata
+  (``image_id``, file name, height, width) so fault effects can later be
+  traced back to individual inputs, exactly as described in Section IV-E of
+  the paper.
+"""
+
+from repro.data.dataset import DataLoader, Dataset, TensorDataset
+from repro.data.synthetic import SyntheticClassificationDataset, make_separable_classifier_data
+from repro.data.coco import CocoLikeDetectionDataset, coco_annotations_to_json
+from repro.data.kitti import KITTI_CATEGORIES, KittiLikeDetectionDataset
+from repro.data.wrapper import AlfiDataLoaderWrapper, ImageRecord
+
+__all__ = [
+    "AlfiDataLoaderWrapper",
+    "CocoLikeDetectionDataset",
+    "DataLoader",
+    "Dataset",
+    "ImageRecord",
+    "KITTI_CATEGORIES",
+    "KittiLikeDetectionDataset",
+    "SyntheticClassificationDataset",
+    "TensorDataset",
+    "coco_annotations_to_json",
+    "make_separable_classifier_data",
+]

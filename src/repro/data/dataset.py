@@ -1,0 +1,95 @@
+"""Minimal Dataset / DataLoader abstractions (PyTorch-compatible subset)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract map-style dataset: implements ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset wrapping equally sized arrays; item ``i`` is a tuple of slices."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"all arrays must share the first dimension, got lengths {lengths}")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int):
+        items = tuple(a[index] for a in self.arrays)
+        return items if len(items) > 1 else items[0]
+
+
+def default_collate(batch: Sequence):
+    """Stack a list of samples into batched arrays.
+
+    Tuples are collated element-wise; dictionaries key-wise; arrays and
+    scalars are stacked; anything else is returned as a list.
+    """
+    first = batch[0]
+    if isinstance(first, tuple):
+        return tuple(default_collate([sample[i] for sample in batch]) for i in range(len(first)))
+    if isinstance(first, dict):
+        return {key: default_collate([sample[key] for sample in batch]) for key in first}
+    if isinstance(first, np.ndarray):
+        return np.stack(batch, axis=0)
+    if isinstance(first, (int, float, np.integer, np.floating)):
+        return np.asarray(batch)
+    return list(batch)
+
+
+class DataLoader:
+    """Iterate a dataset in batches, optionally shuffled with a fixed seed."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 1,
+        shuffle: bool = False,
+        seed: int | None = 0,
+        collate_fn=default_collate,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.collate_fn = collate_fn
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng(None if self.seed is None else self.seed + self._epoch)
+            rng.shuffle(indices)
+        self._epoch += 1
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            yield self.collate_fn([self.dataset[int(i)] for i in batch_indices])

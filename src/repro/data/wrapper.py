@@ -1,0 +1,127 @@
+"""ALFI data-loader wrapper.
+
+Section IV-E of the paper: existing data loaders are wrapped so that every
+batch carries additional per-image metadata (directory + filename, height,
+width and image id), enabling later reproduction of fault conditions down to
+a single data item.  Batches are delivered as lists of dictionaries,
+``[dict_img1, dict_img2, ...]`` with keys ``image``, ``image_id``, ``height``,
+``width``, ``file_name`` plus the original label/target — the same structure
+the paper describes for its detectron2-inspired loader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+@dataclass
+class ImageRecord:
+    """One image together with its traceability metadata."""
+
+    image: np.ndarray
+    image_id: int
+    file_name: str
+    height: int
+    width: int
+    target: Any = None
+
+    def as_dict(self) -> dict:
+        """Return the record as the dictionary format described in the paper."""
+        return {
+            "image": self.image,
+            "image_id": self.image_id,
+            "file_name": self.file_name,
+            "height": self.height,
+            "width": self.width,
+            "target": self.target,
+        }
+
+
+class AlfiDataLoaderWrapper:
+    """Wrap a dataset into metadata-enriched batches.
+
+    Args:
+        dataset: any map-style dataset returning ``(image, label_or_target)``.
+            If the dataset exposes a ``metadata(index)`` method (as the
+            synthetic datasets do) its output is used; otherwise metadata is
+            derived from the image shape and index.
+        batch_size: images per batch.
+        shuffle: whether to shuffle between epochs (seeded).
+        seed: RNG seed for shuffling.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 4,
+        shuffle: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        return (n + self.batch_size - 1) // self.batch_size
+
+    @property
+    def dataset_size(self) -> int:
+        """Number of images in the wrapped dataset."""
+        return len(self.dataset)
+
+    def _record(self, index: int) -> ImageRecord:
+        item = self.dataset[index]
+        if isinstance(item, tuple) and len(item) == 2:
+            image, target = item
+        else:
+            image, target = item, None
+        if hasattr(self.dataset, "metadata"):
+            meta = self.dataset.metadata(index)
+        else:
+            image_arr = np.asarray(image)
+            height = int(image_arr.shape[-2]) if image_arr.ndim >= 2 else 1
+            width = int(image_arr.shape[-1]) if image_arr.ndim >= 1 else 1
+            meta = {
+                "image_id": index,
+                "file_name": f"memory/item_{index:06d}",
+                "height": height,
+                "width": width,
+            }
+        return ImageRecord(
+            image=np.asarray(image, dtype=np.float32),
+            image_id=int(meta["image_id"]),
+            file_name=str(meta["file_name"]),
+            height=int(meta["height"]),
+            width=int(meta["width"]),
+            target=target,
+        )
+
+    def __iter__(self) -> Iterator[list[ImageRecord]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + self._epoch)
+            rng.shuffle(indices)
+        self._epoch += 1
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            yield [self._record(int(i)) for i in batch_indices]
+
+    @staticmethod
+    def stack_images(batch: list[ImageRecord]) -> np.ndarray:
+        """Stack the images of a batch into a single ``(N, C, H, W)`` array."""
+        return np.stack([record.image for record in batch], axis=0)
+
+    @staticmethod
+    def labels(batch: list[ImageRecord]) -> np.ndarray:
+        """Collect integer classification labels of a batch."""
+        return np.asarray([record.target for record in batch], dtype=np.int64)

@@ -1,0 +1,47 @@
+"""KPI generation: classification and object-detection fault metrics.
+
+The evaluation layer turns raw fault-free / corrupted model outputs into the
+KPIs the paper reports:
+
+* classification: top-k accuracy, and the per-inference outcome taxonomy
+  (masked / SDE / DUE) with the resulting SDE and DUE rates;
+* object detection: IoU, CoCo-style average precision / recall (AP, AR, mAP)
+  and the IVMOD metric (image-wise vulnerability of object detection) with
+  its SDE and DUE variants.
+"""
+
+from repro.eval.sdc import FaultOutcome, classify_classification_outcome, outcome_rates
+from repro.eval.classification import (
+    ClassificationCampaignResult,
+    evaluate_classification_campaign,
+    sde_rate,
+    top_k_accuracy,
+    top_k_predictions,
+)
+from repro.eval.detection import (
+    DetectionCampaignResult,
+    IvmodResult,
+    average_precision,
+    coco_map,
+    evaluate_detection_campaign,
+    ivmod_metric,
+    match_detections,
+)
+
+__all__ = [
+    "ClassificationCampaignResult",
+    "DetectionCampaignResult",
+    "FaultOutcome",
+    "IvmodResult",
+    "average_precision",
+    "classify_classification_outcome",
+    "coco_map",
+    "evaluate_classification_campaign",
+    "evaluate_detection_campaign",
+    "ivmod_metric",
+    "match_detections",
+    "outcome_rates",
+    "sde_rate",
+    "top_k_accuracy",
+    "top_k_predictions",
+]

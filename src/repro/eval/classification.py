@@ -1,0 +1,156 @@
+"""Classification KPIs: top-k accuracy and SDE / DUE rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.sdc import FaultOutcome, classify_classification_outcome, outcome_rates
+
+
+def top_k_predictions(logits: np.ndarray, k: int = 5) -> tuple[np.ndarray, np.ndarray]:
+    """Return the top-k classes and their softmax probabilities.
+
+    Args:
+        logits: raw model outputs of shape ``(N, num_classes)``.
+        k: number of top entries (clipped to the number of classes).
+
+    Returns:
+        Tuple ``(classes, probabilities)``, both of shape ``(N, k)``, ordered
+        by decreasing probability.  NaN probabilities sort last.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected logits of shape (N, classes), got {logits.shape}")
+    num_classes = logits.shape[1]
+    k = min(k, num_classes)
+    shifted = logits - np.nanmax(logits, axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", over="ignore"):
+        exp = np.exp(shifted)
+        denom = np.nansum(exp, axis=1, keepdims=True)
+        probabilities = np.where(denom > 0, exp / denom, 0.0)
+    sort_keys = np.where(np.isnan(probabilities), -np.inf, probabilities)
+    order = np.argsort(-sort_keys, axis=1, kind="stable")[:, :k]
+    rows = np.arange(len(logits))[:, None]
+    return order.astype(np.int64), probabilities[rows, order]
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose ground-truth label is within the top-k classes."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    classes, _ = top_k_predictions(logits, k=k)
+    if len(labels) != len(classes):
+        raise ValueError(f"got {len(labels)} labels for {len(classes)} predictions")
+    if len(labels) == 0:
+        return 0.0
+    hits = (classes == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def sde_rate(
+    golden_logits: np.ndarray,
+    corrupted_logits: np.ndarray,
+    due_flags: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Compute masked / SDE / DUE rates by comparing corrupted to golden outputs.
+
+    The SDE criterion follows the paper: the top-1 class of the corrupted run
+    differs from the top-1 class of the *fault-free* run of the same input
+    (not from the ground truth — faults are judged by how they change the
+    model's behaviour).
+
+    Args:
+        golden_logits: fault-free outputs, shape ``(N, classes)``.
+        corrupted_logits: fault-injected outputs, same shape.
+        due_flags: optional boolean array marking inferences with NaN/Inf.
+
+    Returns:
+        Dictionary with ``masked`` / ``sde`` / ``due`` rates and ``total``.
+    """
+    golden_logits = np.asarray(golden_logits, dtype=np.float64)
+    corrupted_logits = np.asarray(corrupted_logits, dtype=np.float64)
+    if golden_logits.shape != corrupted_logits.shape:
+        raise ValueError(
+            f"golden {golden_logits.shape} and corrupted {corrupted_logits.shape} shapes differ"
+        )
+    golden_top1, _ = top_k_predictions(golden_logits, k=1)
+    corrupted_top1, _ = top_k_predictions(corrupted_logits, k=1)
+    if due_flags is None:
+        due_flags = ~np.isfinite(corrupted_logits).all(axis=1)
+    due_flags = np.asarray(due_flags, dtype=bool).reshape(-1)
+    outcomes = [
+        classify_classification_outcome(int(g), int(c), bool(flag))
+        for g, c, flag in zip(golden_top1[:, 0], corrupted_top1[:, 0], due_flags)
+    ]
+    return outcome_rates(outcomes)
+
+
+@dataclass
+class ClassificationCampaignResult:
+    """Aggregated KPIs of a classification fault injection campaign."""
+
+    model_name: str
+    num_inferences: int
+    golden_top1_accuracy: float
+    golden_top5_accuracy: float
+    corrupted_top1_accuracy: float
+    masked_rate: float
+    sde_rate: float
+    due_rate: float
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (outcomes omitted)."""
+        return {
+            "model_name": self.model_name,
+            "num_inferences": self.num_inferences,
+            "golden_top1_accuracy": self.golden_top1_accuracy,
+            "golden_top5_accuracy": self.golden_top5_accuracy,
+            "corrupted_top1_accuracy": self.corrupted_top1_accuracy,
+            "masked_rate": self.masked_rate,
+            "sde_rate": self.sde_rate,
+            "due_rate": self.due_rate,
+        }
+
+
+def evaluate_classification_campaign(
+    golden_logits: np.ndarray,
+    corrupted_logits: np.ndarray,
+    labels: np.ndarray,
+    due_flags: np.ndarray | None = None,
+    model_name: str = "model",
+) -> ClassificationCampaignResult:
+    """Compute the full KPI set for a classification campaign.
+
+    Args:
+        golden_logits: fault-free outputs, one row per inference.
+        corrupted_logits: fault-injected outputs, aligned with the golden rows.
+        labels: ground-truth labels.
+        due_flags: optional per-inference NaN/Inf flags from the monitors.
+        model_name: used for reporting.
+    """
+    golden_logits = np.asarray(golden_logits, dtype=np.float64)
+    corrupted_logits = np.asarray(corrupted_logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    rates = sde_rate(golden_logits, corrupted_logits, due_flags)
+    golden_top1, _ = top_k_predictions(golden_logits, k=1)
+    corrupted_top1, _ = top_k_predictions(corrupted_logits, k=1)
+    if due_flags is None:
+        due_flags = ~np.isfinite(corrupted_logits).all(axis=1)
+    due_flags = np.asarray(due_flags, dtype=bool).reshape(-1)
+    outcomes = [
+        classify_classification_outcome(int(g), int(c), bool(flag))
+        for g, c, flag in zip(golden_top1[:, 0], corrupted_top1[:, 0], due_flags)
+    ]
+    return ClassificationCampaignResult(
+        model_name=model_name,
+        num_inferences=len(labels),
+        golden_top1_accuracy=top_k_accuracy(golden_logits, labels, k=1),
+        golden_top5_accuracy=top_k_accuracy(golden_logits, labels, k=5),
+        corrupted_top1_accuracy=top_k_accuracy(corrupted_logits, labels, k=1),
+        masked_rate=rates["masked"],
+        sde_rate=rates["sde"],
+        due_rate=rates["due"],
+        outcomes=outcomes,
+    )

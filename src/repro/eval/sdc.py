@@ -1,0 +1,71 @@
+"""Fault outcome taxonomy (masked / SDE / DUE).
+
+Every fault-injected inference is classified against the fault-free (golden)
+run of the same input:
+
+* **masked** — the corrupted output is functionally identical to the golden
+  output (the network's inherent redundancy tolerated the fault);
+* **SDE** (silent data error) — the output changed in a user-visible way
+  (e.g. the top-1 class differs) without any detectable trace;
+* **DUE** (detected and uncorrectable error) — the inference produced NaN or
+  Inf values, i.e. the corruption is detectable but the result is unusable.
+
+The same taxonomy underlies both the classification SDE rates of Fig. 2a and
+the IVMOD_SDE / IVMOD_DUE detection metrics of Fig. 2b.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+
+
+class FaultOutcome(str, Enum):
+    """Outcome of a single fault-injected inference."""
+
+    MASKED = "masked"
+    SDE = "sde"
+    DUE = "due"
+
+
+def classify_classification_outcome(
+    golden_top1: int,
+    corrupted_top1: int,
+    nan_or_inf: bool = False,
+) -> FaultOutcome:
+    """Classify one classification inference.
+
+    Args:
+        golden_top1: top-1 class of the fault-free model.
+        corrupted_top1: top-1 class of the fault-injected model.
+        nan_or_inf: whether NaN/Inf values were observed in the corrupted run.
+
+    Returns:
+        The :class:`FaultOutcome`.  DUE takes precedence over SDE: an
+        inference that produced NaN/Inf is counted as detected even if the
+        top-1 class also changed.
+    """
+    if nan_or_inf:
+        return FaultOutcome.DUE
+    if int(golden_top1) != int(corrupted_top1):
+        return FaultOutcome.SDE
+    return FaultOutcome.MASKED
+
+
+def outcome_rates(outcomes: list[FaultOutcome]) -> dict[str, float]:
+    """Aggregate a list of outcomes into masked / SDE / DUE rates.
+
+    Returns:
+        Dictionary with keys ``"masked"``, ``"sde"``, ``"due"`` (fractions in
+        ``[0, 1]`` summing to 1) and ``"total"`` (the number of inferences).
+    """
+    if not outcomes:
+        return {"masked": 0.0, "sde": 0.0, "due": 0.0, "total": 0}
+    counts = Counter(outcomes)
+    total = len(outcomes)
+    return {
+        "masked": counts.get(FaultOutcome.MASKED, 0) / total,
+        "sde": counts.get(FaultOutcome.SDE, 0) / total,
+        "due": counts.get(FaultOutcome.DUE, 0) / total,
+        "total": total,
+    }

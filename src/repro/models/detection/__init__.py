@@ -1,0 +1,41 @@
+"""Object-detection model zoo.
+
+Stand-ins for the YoloV3 / RetinaNet / Faster-RCNN detectors the paper
+evaluates.  Each detector is a real convolutional network built on
+:mod:`repro.nn` whose conv layers are valid fault-injection targets; the
+heads decode grid/anchor predictions into ``(boxes, scores, labels)``
+detections, so corrupted activations or weights manifest as missing, moved
+or spurious boxes — exactly what the IVMOD metric quantifies.
+"""
+
+from repro.models.detection.boxes import box_iou, clip_boxes, nms, xywh_to_xyxy, xyxy_to_xywh
+from repro.models.detection.anchors import generate_anchor_grid
+from repro.models.detection.detectors import (
+    DETECTOR_REGISTRY,
+    Detection,
+    FasterRCNNLite,
+    RetinaNetLite,
+    YoloV3Tiny,
+    build_detector,
+    faster_rcnn_lite,
+    retinanet_lite,
+    yolov3_tiny,
+)
+
+__all__ = [
+    "DETECTOR_REGISTRY",
+    "Detection",
+    "FasterRCNNLite",
+    "RetinaNetLite",
+    "YoloV3Tiny",
+    "box_iou",
+    "build_detector",
+    "clip_boxes",
+    "faster_rcnn_lite",
+    "generate_anchor_grid",
+    "nms",
+    "retinanet_lite",
+    "xywh_to_xyxy",
+    "xyxy_to_xywh",
+    "yolov3_tiny",
+]

@@ -1,0 +1,388 @@
+"""Object detectors built on the :mod:`repro.nn` substrate.
+
+Three detector families mirror the models evaluated in the paper:
+
+* :class:`YoloV3Tiny` -- a single-scale grid detector with a Darknet-style
+  backbone (conv + leaky ReLU stacks) and a YOLO head that predicts
+  objectness, class scores and box offsets per grid cell.
+* :class:`RetinaNetLite` -- an anchor-based one-stage detector with separate
+  classification and box-regression conv head over a small feature pyramid.
+* :class:`FasterRCNNLite` -- a simplified two-stage detector: a proposal head
+  scores anchors, the top proposals are classified and refined by a second
+  head on pooled features.
+
+All three consume ``(N, 3, H, W)`` images (64x64 by default) and return a
+list of :class:`Detection` objects, one per image, holding corner-format
+boxes, scores and integer class labels.  Because every stage is an ordinary
+conv/linear layer of the substrate, PyTorchALFI can inject neuron or weight
+faults into any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.models.detection.anchors import decode_offsets, generate_anchor_grid
+from repro.models.detection.boxes import clip_boxes, nms
+
+
+@dataclass
+class Detection:
+    """Per-image detection result.
+
+    Attributes:
+        boxes: corner-format boxes, shape ``(K, 4)``.
+        scores: confidence scores, shape ``(K,)``.
+        labels: integer class ids, shape ``(K,)``.
+    """
+
+    boxes: np.ndarray = field(default_factory=lambda: np.zeros((0, 4), dtype=np.float32))
+    scores: np.ndarray = field(default_factory=lambda: np.zeros((0,), dtype=np.float32))
+    labels: np.ndarray = field(default_factory=lambda: np.zeros((0,), dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def as_dict(self) -> dict:
+        """Return a JSON-friendly representation of the detections."""
+        return {
+            "boxes": np.asarray(self.boxes, dtype=float).reshape(-1, 4).tolist(),
+            "scores": np.asarray(self.scores, dtype=float).reshape(-1).tolist(),
+            "labels": np.asarray(self.labels, dtype=int).reshape(-1).tolist(),
+        }
+
+    def has_nan_or_inf(self) -> bool:
+        """True if any box coordinate or score is NaN or infinite."""
+        values = [np.asarray(self.boxes, dtype=np.float64), np.asarray(self.scores, dtype=np.float64)]
+        return any(not np.isfinite(v).all() for v in values if v.size)
+
+
+def _conv_block(in_channels: int, out_channels: int, rng: np.random.Generator, stride: int = 1) -> nn.Sequential:
+    """Conv + BatchNorm + LeakyReLU block used by the Darknet-style backbone."""
+    return nn.Sequential(
+        nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(out_channels),
+        nn.LeakyReLU(0.1),
+    )
+
+
+class YoloV3Tiny(Module):
+    """Single-scale YOLO-style detector.
+
+    The backbone downsamples the input by 8x; the head predicts, per grid
+    cell and anchor, ``(tx, ty, tw, th, objectness, class scores...)``.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 5,
+        image_size: tuple[int, int] = (64, 64),
+        width: float = 0.5,
+        seed: int = 0,
+        score_threshold: float = 0.3,
+        nms_threshold: float = 0.45,
+    ):
+        super().__init__()
+        rng = init.make_rng(seed)
+        c1 = max(8, int(16 * width))
+        c2, c3 = c1 * 2, c1 * 4
+        self.backbone = nn.Sequential(
+            _conv_block(3, c1, rng),
+            nn.MaxPool2d(2),
+            _conv_block(c1, c2, rng),
+            nn.MaxPool2d(2),
+            _conv_block(c2, c3, rng),
+            nn.MaxPool2d(2),
+            _conv_block(c3, c3, rng),
+        )
+        self.anchor_sizes = (12.0, 24.0)
+        self.num_anchors = len(self.anchor_sizes)
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.score_threshold = score_threshold
+        self.nms_threshold = nms_threshold
+        outputs_per_anchor = 5 + num_classes
+        self.head = nn.Conv2d(c3, self.num_anchors * outputs_per_anchor, 1, rng=rng)
+
+    def forward(self, x: np.ndarray) -> list[Detection]:
+        features = self.backbone(x)
+        raw = self.head(features)
+        return self._decode(raw)
+
+    def _decode(self, raw: np.ndarray) -> list[Detection]:
+        batch, _, fh, fw = raw.shape
+        outputs_per_anchor = 5 + self.num_classes
+        raw = raw.reshape(batch, self.num_anchors, outputs_per_anchor, fh, fw)
+        anchors = generate_anchor_grid((fh, fw), self.image_size, self.anchor_sizes)
+        detections: list[Detection] = []
+        for index in range(batch):
+            # (anchors, outputs, fh, fw) -> (fh*fw*anchors, outputs), cell-major
+            per_image = raw[index].transpose(2, 3, 0, 1).reshape(-1, outputs_per_anchor)
+            offsets = per_image[:, 0:4] * 0.1
+            objectness = F.sigmoid(per_image[:, 4])
+            class_probs = F.softmax(per_image[:, 5:], axis=1)
+            labels = np.argmax(class_probs, axis=1)
+            scores = objectness * class_probs[np.arange(len(labels)), labels]
+            boxes = decode_offsets(anchors, offsets)
+            detections.append(self._select(boxes, scores, labels))
+        return detections
+
+    def _select(self, boxes: np.ndarray, scores: np.ndarray, labels: np.ndarray) -> Detection:
+        keep_mask = scores >= self.score_threshold
+        # NaN scores must survive selection so the DUE monitor can see them.
+        keep_mask |= ~np.isfinite(scores)
+        boxes, scores, labels = boxes[keep_mask], scores[keep_mask], labels[keep_mask]
+        if len(scores) == 0:
+            return Detection()
+        boxes = clip_boxes(boxes, self.image_size)
+        finite = np.isfinite(scores) & np.isfinite(boxes).all(axis=1)
+        kept_parts = []
+        if finite.any():
+            keep = nms(boxes[finite], scores[finite], self.nms_threshold)
+            kept_parts.append(
+                (boxes[finite][keep], scores[finite][keep], labels[finite][keep])
+            )
+        if (~finite).any():
+            kept_parts.append((boxes[~finite], scores[~finite], labels[~finite]))
+        boxes = np.concatenate([p[0] for p in kept_parts], axis=0)
+        scores = np.concatenate([p[1] for p in kept_parts], axis=0)
+        labels = np.concatenate([p[2] for p in kept_parts], axis=0)
+        return Detection(boxes=boxes, scores=scores, labels=labels.astype(np.int64))
+
+
+class RetinaNetLite(Module):
+    """Anchor-based one-stage detector with separate class and box heads."""
+
+    def __init__(
+        self,
+        num_classes: int = 5,
+        image_size: tuple[int, int] = (64, 64),
+        width: float = 0.5,
+        seed: int = 0,
+        score_threshold: float = 0.3,
+        nms_threshold: float = 0.5,
+    ):
+        super().__init__()
+        rng = init.make_rng(seed)
+        c1 = max(8, int(16 * width))
+        c2, c3 = c1 * 2, c1 * 4
+        self.backbone = nn.Sequential(
+            nn.Conv2d(3, c1, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(c1),
+            nn.ReLU(),
+            nn.Conv2d(c1, c2, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(c2),
+            nn.ReLU(),
+            nn.Conv2d(c2, c3, 3, stride=2, padding=1, rng=rng),
+            nn.BatchNorm2d(c3),
+            nn.ReLU(),
+        )
+        self.anchor_sizes = (10.0, 20.0, 32.0)
+        self.aspect_ratios = (0.5, 1.0, 2.0)
+        self.num_anchors = len(self.anchor_sizes) * len(self.aspect_ratios)
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.score_threshold = score_threshold
+        self.nms_threshold = nms_threshold
+        self.cls_head = nn.Sequential(
+            nn.Conv2d(c3, c3, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c3, self.num_anchors * num_classes, 1, rng=rng),
+        )
+        self.box_head = nn.Sequential(
+            nn.Conv2d(c3, c3, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c3, self.num_anchors * 4, 1, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> list[Detection]:
+        features = self.backbone(x)
+        cls_raw = self.cls_head(features)
+        box_raw = self.box_head(features)
+        return self._decode(cls_raw, box_raw)
+
+    def _decode(self, cls_raw: np.ndarray, box_raw: np.ndarray) -> list[Detection]:
+        batch, _, fh, fw = cls_raw.shape
+        anchors = generate_anchor_grid(
+            (fh, fw), self.image_size, self.anchor_sizes, self.aspect_ratios
+        )
+        cls_raw = cls_raw.reshape(batch, self.num_anchors, self.num_classes, fh, fw)
+        box_raw = box_raw.reshape(batch, self.num_anchors, 4, fh, fw)
+        detections: list[Detection] = []
+        for index in range(batch):
+            cls_scores = cls_raw[index].transpose(2, 3, 0, 1).reshape(-1, self.num_classes)
+            offsets = box_raw[index].transpose(2, 3, 0, 1).reshape(-1, 4) * 0.1
+            probs = F.sigmoid(cls_scores)
+            labels = np.argmax(probs, axis=1)
+            scores = probs[np.arange(len(labels)), labels]
+            boxes = decode_offsets(anchors, offsets)
+            detections.append(self._select(boxes, scores, labels))
+        return detections
+
+    def _select(self, boxes: np.ndarray, scores: np.ndarray, labels: np.ndarray) -> Detection:
+        keep_mask = (scores >= self.score_threshold) | ~np.isfinite(scores)
+        boxes, scores, labels = boxes[keep_mask], scores[keep_mask], labels[keep_mask]
+        if len(scores) == 0:
+            return Detection()
+        boxes = clip_boxes(boxes, self.image_size)
+        finite = np.isfinite(scores) & np.isfinite(boxes).all(axis=1)
+        parts = []
+        if finite.any():
+            keep = nms(boxes[finite], scores[finite], self.nms_threshold)
+            parts.append((boxes[finite][keep], scores[finite][keep], labels[finite][keep]))
+        if (~finite).any():
+            parts.append((boxes[~finite], scores[~finite], labels[~finite]))
+        return Detection(
+            boxes=np.concatenate([p[0] for p in parts], axis=0),
+            scores=np.concatenate([p[1] for p in parts], axis=0),
+            labels=np.concatenate([p[2] for p in parts], axis=0).astype(np.int64),
+        )
+
+
+class FasterRCNNLite(Module):
+    """Simplified two-stage detector (proposal head + per-proposal classifier)."""
+
+    def __init__(
+        self,
+        num_classes: int = 5,
+        image_size: tuple[int, int] = (64, 64),
+        width: float = 0.5,
+        seed: int = 0,
+        top_proposals: int = 16,
+        score_threshold: float = 0.3,
+        nms_threshold: float = 0.5,
+    ):
+        super().__init__()
+        rng = init.make_rng(seed)
+        c1 = max(8, int(16 * width))
+        c2 = c1 * 2
+        self.backbone = nn.Sequential(
+            nn.Conv2d(3, c1, 3, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c1, c2, 3, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c2, c2, 3, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+        )
+        self.anchor_sizes = (12.0, 24.0)
+        self.num_anchors = len(self.anchor_sizes)
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.top_proposals = top_proposals
+        self.score_threshold = score_threshold
+        self.nms_threshold = nms_threshold
+        # Region proposal head: objectness + offsets per anchor.
+        self.rpn = nn.Conv2d(c2, self.num_anchors * 5, 1, rng=rng)
+        # Second stage: classify pooled proposal features.
+        self.roi_pool_size = 2
+        roi_features = c2 * self.roi_pool_size * self.roi_pool_size
+        self.classifier = nn.Sequential(
+            nn.Linear(roi_features, 64, rng=rng),
+            nn.ReLU(),
+            nn.Linear(64, num_classes + 1, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> list[Detection]:
+        features = self.backbone(x)
+        rpn_raw = self.rpn(features)
+        batch, _, fh, fw = rpn_raw.shape
+        anchors = generate_anchor_grid((fh, fw), self.image_size, self.anchor_sizes)
+        rpn_raw = rpn_raw.reshape(batch, self.num_anchors, 5, fh, fw)
+        detections: list[Detection] = []
+        for index in range(batch):
+            per_image = rpn_raw[index].transpose(2, 3, 0, 1).reshape(-1, 5)
+            objectness = F.sigmoid(per_image[:, 0])
+            offsets = per_image[:, 1:5] * 0.1
+            proposals = decode_offsets(anchors, offsets)
+            proposals = clip_boxes(proposals, self.image_size)
+            order = np.argsort(-np.nan_to_num(objectness, nan=-1.0))[: self.top_proposals]
+            detections.append(
+                self._second_stage(features[index], proposals[order], objectness[order])
+            )
+        return detections
+
+    def _second_stage(
+        self,
+        feature_map: np.ndarray,
+        proposals: np.ndarray,
+        objectness: np.ndarray,
+    ) -> Detection:
+        if len(proposals) == 0:
+            return Detection()
+        pooled = self._roi_pool(feature_map, proposals)
+        logits = self.classifier(pooled)
+        probs = F.softmax(logits, axis=1)
+        labels = np.argmax(probs[:, 1:], axis=1)  # class 0 is background
+        class_scores = probs[np.arange(len(labels)), labels + 1]
+        scores = class_scores * objectness
+        keep_mask = (scores >= self.score_threshold) | ~np.isfinite(scores)
+        boxes, scores, labels = proposals[keep_mask], scores[keep_mask], labels[keep_mask]
+        if len(scores) == 0:
+            return Detection()
+        finite = np.isfinite(scores) & np.isfinite(boxes).all(axis=1)
+        parts = []
+        if finite.any():
+            keep = nms(boxes[finite], scores[finite], self.nms_threshold)
+            parts.append((boxes[finite][keep], scores[finite][keep], labels[finite][keep]))
+        if (~finite).any():
+            parts.append((boxes[~finite], scores[~finite], labels[~finite]))
+        return Detection(
+            boxes=np.concatenate([p[0] for p in parts], axis=0),
+            scores=np.concatenate([p[1] for p in parts], axis=0),
+            labels=np.concatenate([p[2] for p in parts], axis=0).astype(np.int64),
+        )
+
+    def _roi_pool(self, feature_map: np.ndarray, proposals: np.ndarray) -> np.ndarray:
+        """Pool each proposal region to a fixed-size feature vector."""
+        channels, fh, fw = feature_map.shape
+        height, width = self.image_size
+        pooled = np.zeros(
+            (len(proposals), channels, self.roi_pool_size, self.roi_pool_size),
+            dtype=np.float32,
+        )
+        safe_proposals = np.nan_to_num(proposals, nan=0.0, posinf=width, neginf=0.0)
+        for index, box in enumerate(safe_proposals):
+            x1 = int(np.clip(box[0] / width * fw, 0, fw - 1))
+            y1 = int(np.clip(box[1] / height * fh, 0, fh - 1))
+            x2 = int(np.clip(np.ceil(box[2] / width * fw), x1 + 1, fw))
+            y2 = int(np.clip(np.ceil(box[3] / height * fh), y1 + 1, fh))
+            region = feature_map[:, y1:y2, x1:x2]
+            region_4d = region[None, ...]
+            pooled[index] = F.adaptive_avg_pool2d(region_4d, self.roi_pool_size)[0]
+        return pooled.reshape(len(proposals), -1)
+
+
+def yolov3_tiny(num_classes: int = 5, seed: int = 0, **kwargs) -> YoloV3Tiny:
+    """Build the YOLO-style detector."""
+    return YoloV3Tiny(num_classes=num_classes, seed=seed, **kwargs)
+
+
+def retinanet_lite(num_classes: int = 5, seed: int = 0, **kwargs) -> RetinaNetLite:
+    """Build the RetinaNet-style detector."""
+    return RetinaNetLite(num_classes=num_classes, seed=seed, **kwargs)
+
+
+def faster_rcnn_lite(num_classes: int = 5, seed: int = 0, **kwargs) -> FasterRCNNLite:
+    """Build the Faster-RCNN-style two-stage detector."""
+    return FasterRCNNLite(num_classes=num_classes, seed=seed, **kwargs)
+
+
+DETECTOR_REGISTRY: dict[str, Callable[..., Module]] = {
+    "yolov3": yolov3_tiny,
+    "retinanet": retinanet_lite,
+    "faster_rcnn": faster_rcnn_lite,
+}
+
+
+def build_detector(name: str, **kwargs) -> Module:
+    """Build a detector by registry name (``yolov3``, ``retinanet``, ``faster_rcnn``)."""
+    if name not in DETECTOR_REGISTRY:
+        raise KeyError(f"unknown detector {name!r}; available: {sorted(DETECTOR_REGISTRY)}")
+    return DETECTOR_REGISTRY[name](**kwargs)

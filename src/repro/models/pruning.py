@@ -1,0 +1,71 @@
+"""Magnitude pruning of zoo models.
+
+One of the use cases the paper lists for PyTorchALFI is comparing the fault
+robustness of an original network against a pruned version of it.  This
+module provides global unstructured magnitude pruning: the smallest-magnitude
+fraction of conv/linear weights is set to zero in a copy of the model.  The
+pruned copy preserves the layer structure, so the exact same fault matrix can
+be replayed against the original and the pruned variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Conv2d, Conv3d, Linear
+from repro.nn.module import Module
+
+PRUNABLE_TYPES = (Conv2d, Conv3d, Linear)
+
+
+def prunable_weight_count(model: Module) -> int:
+    """Total number of weights in prunable (conv/linear) layers."""
+    return sum(
+        module.weight.size
+        for _, module in model.named_modules()
+        if isinstance(module, PRUNABLE_TYPES)
+    )
+
+
+def sparsity(model: Module) -> float:
+    """Fraction of prunable weights that are exactly zero."""
+    total = 0
+    zeros = 0
+    for _, module in model.named_modules():
+        if isinstance(module, PRUNABLE_TYPES):
+            total += module.weight.size
+            zeros += int((module.weight.data == 0.0).sum())
+    return zeros / total if total else 0.0
+
+
+def prune_by_magnitude(model: Module, amount: float) -> Module:
+    """Return a copy of ``model`` with the smallest weights zeroed globally.
+
+    Args:
+        model: the model to prune (left unmodified).
+        amount: fraction of all prunable weights to zero, in ``[0, 1)``.
+
+    Returns:
+        A pruned deep copy with identical layer structure.
+    """
+    if not 0.0 <= amount < 1.0:
+        raise ValueError(f"prune amount must be in [0, 1), got {amount}")
+    pruned = model.clone()
+    if amount == 0.0:
+        return pruned
+
+    magnitudes = [
+        np.abs(module.weight.data).ravel()
+        for _, module in pruned.named_modules()
+        if isinstance(module, PRUNABLE_TYPES)
+    ]
+    if not magnitudes:
+        raise ValueError("model has no prunable conv/linear layers")
+    all_magnitudes = np.concatenate(magnitudes)
+    threshold = float(np.quantile(all_magnitudes, amount))
+
+    for _, module in pruned.named_modules():
+        if isinstance(module, PRUNABLE_TYPES):
+            weight = module.weight.data
+            weight[np.abs(weight) <= threshold] = 0.0
+    return pruned

@@ -1,0 +1,71 @@
+"""Module containers: ``Sequential`` and ``ModuleList``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run child modules in registration order, feeding each the previous output."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            if not isinstance(module, Module):
+                raise TypeError(f"Sequential expects Module instances, got {type(module)!r}")
+            self._modules[str(index)] = module
+
+    def append(self, module: Module) -> "Sequential":
+        """Append a module to the end of the chain."""
+        if not isinstance(module, Module):
+            raise TypeError(f"Sequential expects Module instances, got {type(module)!r}")
+        self._modules[str(len(self._modules))] = module
+        return self
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        keys = list(self._modules)
+        return self._modules[keys[index]]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of modules that registers its entries as sub-modules.
+
+    Unlike :class:`Sequential` it defines no forward pass; the owning module
+    decides how to combine the children (e.g. detection heads over multiple
+    feature maps).
+    """
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        """Append a module to the list."""
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleList expects Module instances, got {type(module)!r}")
+        self._modules[str(len(self._modules))] = module
+        return self
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        keys = list(self._modules)
+        return self._modules[keys[index]]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())

@@ -1,0 +1,58 @@
+"""Deterministic weight initialisers.
+
+Because no pre-trained weights are available offline, every model in the zoo
+is initialised from a seeded random stream.  Determinism matters twice over:
+the fault-free golden run and the fault-injected runs must execute the exact
+same network, and experiments must be reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator,
+    gain: float = np.sqrt(2.0),
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation used for conv and linear weights."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_bias(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style bias initialisation: uniform in ``+/- 1/sqrt(fan_in)``."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero tensor."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one tensor."""
+    return np.ones(shape, dtype=np.float32)
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a numpy random generator from an optional seed."""
+    return np.random.default_rng(seed)

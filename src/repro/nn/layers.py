@@ -1,0 +1,327 @@
+"""Layer modules built on top of :mod:`repro.nn.functional`.
+
+The three layer types PyTorchALFI supports as fault injection targets
+(``Conv2d``, ``Conv3d``, ``Linear``) are implemented here together with the
+auxiliary layers needed to express realistic CNN classifiers and detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2D convolution layer with optional bias.
+
+    Weight layout is ``(out_channels, in_channels, kh, kw)`` which matches
+    the weight fault-location convention of the paper (rows 2 and 3 of the
+    weight fault matrix address the output and input channel respectively).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+        bias: bool = True,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if groups < 1 or in_channels % groups != 0 or out_channels % groups != 0:
+            raise ValueError(
+                f"groups ({groups}) must divide in_channels ({in_channels}) and "
+                f"out_channels ({out_channels})"
+            )
+        rng = rng if rng is not None else init.make_rng(0)
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        self.groups = groups
+        fan_in = (in_channels // groups) * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels // groups, kh, kw), fan_in, rng)
+        )
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        return F.conv2d(x, self.weight.data, bias, self.stride, self.padding, self.groups)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}"
+        )
+
+
+class Conv3d(Module):
+    """3D convolution layer over ``(N, C, D, H, W)`` volumes."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int, int],
+        stride: int | tuple[int, int, int] = 1,
+        padding: int | tuple[int, int, int] = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        rng = rng if rng is not None else init.make_rng(0)
+        kd, kh, kw = F._triple(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kd, kh, kw)
+        self.stride = F._triple(stride)
+        self.padding = F._triple(padding)
+        fan_in = in_channels * kd * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kd, kh, kw), fan_in, rng)
+        )
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        return F.conv3d(x, self.weight.data, bias, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )
+
+
+class Linear(Module):
+    """Fully connected layer (``y = x W^T + b``)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        rng = rng if rng is not None else init.make_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), in_features, rng))
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_features,), in_features, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        return F.linear(x, self.weight.data, bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}"
+
+
+class BatchNorm2d(Module):
+    """Inference-mode batch normalisation with learnable affine transform."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.batch_norm2d(
+            x,
+            self._buffers["running_mean"],
+            self._buffers["running_var"],
+            self.weight.data,
+            self.bias.data,
+            self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}"
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.1):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.tanh(x)
+
+
+class Softmax(Module):
+    """Softmax along a configurable axis."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.softmax(x, self.axis)
+
+    def extra_repr(self) -> str:
+        return f"axis={self.axis}"
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed output size."""
+
+    def __init__(self, output_size: int | tuple[int, int]):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self) -> str:
+        return f"output_size={self.output_size}"
+
+
+class Upsample(Module):
+    """Nearest-neighbour upsampling by an integer scale factor."""
+
+    def __init__(self, scale_factor: int = 2):
+        super().__init__()
+        self.scale_factor = scale_factor
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.upsample_nearest(x, self.scale_factor)
+
+    def extra_repr(self) -> str:
+        return f"scale_factor={self.scale_factor}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.flatten(x, self.start_dim)
+
+
+class Dropout(Module):
+    """Dropout layer; identity at inference time (the only mode used here)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else init.make_rng(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            return np.asarray(x, dtype=np.float32)
+        mask = self._rng.random(np.asarray(x).shape) >= self.p
+        return (np.asarray(x, dtype=np.float32) * mask) / (1.0 - self.p)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x

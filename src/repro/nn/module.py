@@ -1,0 +1,292 @@
+"""Module base class with PyTorch-compatible forward hooks.
+
+PyTorchALFI injects neuron faults by attaching *forward hooks* to selected
+layers: the hook receives ``(module, input, output)`` after the layer's MAC
+operation and may modify the output tensor in place.  Weight faults are
+applied directly to the registered parameters.  This module reproduces that
+contract, together with the traversal APIs (``named_modules``,
+``named_parameters``) the injector uses to enumerate fault locations.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+import numpy as np
+
+# Type of a forward hook: hook(module, inputs, output) -> optional new output.
+ForwardHook = Callable[["Module", tuple, np.ndarray], np.ndarray | None]
+# Type of a forward pre-hook: hook(module, inputs) -> optional new inputs.
+ForwardPreHook = Callable[["Module", tuple], tuple | None]
+
+
+class Parameter:
+    """A learnable tensor registered on a module.
+
+    Thin wrapper around a numpy array so that parameters can be told apart
+    from plain buffers and can be replaced / corrupted in place by the fault
+    injector.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float32)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype of the underlying array."""
+        return self.data.dtype
+
+    def copy_(self, values: np.ndarray) -> None:
+        """Copy ``values`` into the parameter storage (shape must match)."""
+        values = np.asarray(values, dtype=self.data.dtype)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy values of shape {values.shape} into parameter "
+                f"of shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.data if dtype is None else self.data.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class RemovableHandle:
+    """Handle returned by hook registration; calling :meth:`remove` detaches it."""
+
+    _next_id = 0
+
+    def __init__(self, hooks_dict: OrderedDict):
+        self._hooks_dict = hooks_dict
+        self.id = RemovableHandle._next_id
+        RemovableHandle._next_id += 1
+
+    def remove(self) -> None:
+        """Remove the associated hook.  Safe to call more than once."""
+        self._hooks_dict.pop(self.id, None)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Mirrors the subset of ``torch.nn.Module`` needed by the fault injection
+    framework: sub-module / parameter / buffer registration via attribute
+    assignment, recursive traversal, forward hooks and state dict handling.
+    """
+
+    def __init__(self):
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._buffers: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._forward_hooks: OrderedDict[int, ForwardHook] = OrderedDict()
+        self._forward_pre_hooks: OrderedDict[int, ForwardPreHook] = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # attribute-based registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+            self.__dict__.pop(name, None)
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+            self.__dict__.pop(name, None)
+        else:
+            object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str):
+        # Only called when normal attribute lookup fails.
+        for store in ("_parameters", "_modules", "_buffers"):
+            container = self.__dict__.get(store)
+            if container is not None and name in container:
+                return container[name]
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable tensor (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Register a learnable parameter under ``name``."""
+        self._parameters[name] = param
+
+    # ------------------------------------------------------------------ #
+    # forward execution and hooks
+    # ------------------------------------------------------------------ #
+    def forward(self, *inputs):  # pragma: no cover - abstract
+        """Compute the module output.  Subclasses must override."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *inputs):
+        for hook in list(self._forward_pre_hooks.values()):
+            result = hook(self, inputs)
+            if result is not None:
+                inputs = result if isinstance(result, tuple) else (result,)
+        output = self.forward(*inputs)
+        for hook in list(self._forward_hooks.values()):
+            result = hook(self, inputs, output)
+            if result is not None:
+                output = result
+        return output
+
+    def register_forward_hook(self, hook: ForwardHook) -> RemovableHandle:
+        """Register a callback run after :meth:`forward`.
+
+        The hook signature is ``hook(module, inputs, output)``; returning a
+        non-``None`` value replaces the output.  The output array may also be
+        modified in place, which is how neuron fault injection works.
+        """
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.id] = hook
+        return handle
+
+    def register_forward_pre_hook(self, hook: ForwardPreHook) -> RemovableHandle:
+        """Register a callback run before :meth:`forward` on the inputs."""
+        handle = RemovableHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.id] = hook
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def children(self) -> Iterator["Module"]:
+        """Iterate over immediate child modules."""
+        yield from self._modules.values()
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        """Iterate over immediate ``(name, module)`` child pairs."""
+        yield from self._modules.items()
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over all modules in the tree, including ``self``."""
+        for _, module in self.named_modules():
+            yield module
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Iterate over all ``(qualified_name, module)`` pairs, including ``self``."""
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Iterate over all ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Iterate over all parameters recursively."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Iterate over all ``(qualified_name, buffer)`` pairs recursively."""
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def get_submodule(self, target: str) -> "Module":
+        """Return the sub-module at dotted path ``target`` (empty = self)."""
+        if not target:
+            return self
+        module: Module = self
+        for part in target.split("."):
+            if part not in module._modules:
+                raise KeyError(f"no submodule named {target!r}")
+            module = module._modules[part]
+        return module
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # train / eval and serialization
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module tree to training (``True``) or inference mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set the module tree to inference mode."""
+        return self.train(False)
+
+    def to(self, device: str = "cpu") -> "Module":
+        """Device placement no-op kept for API compatibility with PyTorch."""
+        return self
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat mapping of all parameters and buffers (copies)."""
+        state: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameters and buffers from a mapping produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        buffers = {name: (owner, key) for owner, name, key in self._owned_buffers()}
+        missing = []
+        for name, value in state.items():
+            if name in params:
+                params[name].copy_(value)
+            elif name in buffers:
+                owner, key = buffers[name]
+                owner._buffers[key] = np.asarray(value, dtype=np.float32).copy()
+            else:
+                missing.append(name)
+        if missing:
+            raise KeyError(f"state dict entries with no matching parameter/buffer: {missing}")
+
+    def _owned_buffers(self) -> Iterator[tuple["Module", str, str]]:
+        """Yield ``(owner_module, qualified_name, local_name)`` for all buffers."""
+        for prefix, module in self.named_modules():
+            for key in module._buffers:
+                qualified = f"{prefix}.{key}" if prefix else key
+                yield module, qualified, key
+
+    def clone(self) -> "Module":
+        """Return a deep copy of the module (weights included, hooks dropped)."""
+        cloned = copy.deepcopy(self)
+        for module in cloned.modules():
+            module._forward_hooks.clear()
+            module._forward_pre_hooks.clear()
+        return cloned
+
+    def extra_repr(self) -> str:
+        """Extra information appended to the module's repr line."""
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"

@@ -1,0 +1,36 @@
+"""PyTorchFI-compatible core fault injector.
+
+PyTorchALFI uses a branched-off version of PyTorchFI as its injection core.
+This subpackage reproduces that core against the :mod:`repro.nn` substrate:
+
+* :class:`~repro.pytorchfi.core.FaultInjection` profiles a model (layer
+  types, output shapes, weight shapes), declares neuron or weight faults at
+  explicit coordinates and produces corrupted model instances.  Neuron
+  faults are applied through forward hooks (values are only known at run
+  time); weight faults are applied by patching the corresponding parameter
+  before inference.
+* :mod:`~repro.pytorchfi.errormodels` contains the value-level error models:
+  single/multi bit flips, stuck-at faults and bounded random value
+  replacement.
+"""
+
+from repro.pytorchfi.core import FaultInjection, LayerInfo, injectable_layer_types, verify_layer
+from repro.pytorchfi.errormodels import (
+    BitFlipErrorModel,
+    ErrorModel,
+    RandomValueErrorModel,
+    StuckAtErrorModel,
+    build_error_model,
+)
+
+__all__ = [
+    "BitFlipErrorModel",
+    "ErrorModel",
+    "FaultInjection",
+    "LayerInfo",
+    "RandomValueErrorModel",
+    "StuckAtErrorModel",
+    "build_error_model",
+    "injectable_layer_types",
+    "verify_layer",
+]

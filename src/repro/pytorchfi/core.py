@@ -1,0 +1,504 @@
+"""Fault injection core (PyTorchFI stand-in).
+
+The core knows how to
+
+1. *profile* a model: enumerate the injectable layers (conv2d, conv3d and
+   fully connected by default), record their weight shapes and — by running a
+   dummy forward pass — their output activation shapes;
+2. *inject neuron faults*: attach forward hooks to a copy of the model that
+   corrupt selected output values in place during inference;
+3. *inject weight faults*: patch selected weight elements of a copy of the
+   model before inference.
+
+Faults are described by explicit coordinates matching Table I of the paper
+(batch, layer, channel, depth, height, width, value).  The *value* row is
+interpreted by the configured error model, either as a literal replacement
+value or as the bit position to flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, RemovableHandle
+from repro.pytorchfi.errormodels import BitFlipErrorModel, ErrorModel, StuckAtErrorModel
+from repro.tensor.bitops import flip_bit_scalar
+
+# Registry of injectable layer types.  The paper's extensibility section
+# describes adding custom trainable layers via the ``verify_layer`` function;
+# registering a new entry here achieves the same.
+_INJECTABLE_LAYER_TYPES: dict[str, type] = {
+    "conv2d": nn.Conv2d,
+    "conv3d": nn.Conv3d,
+    "fcc": nn.Linear,
+}
+
+# Sentinel for unused coordinate dimensions (e.g. depth for conv2d outputs).
+UNSET = -1
+
+
+def injectable_layer_types() -> dict[str, type]:
+    """Return a copy of the registry of injectable layer type names."""
+    return dict(_INJECTABLE_LAYER_TYPES)
+
+
+def register_layer_type(name: str, layer_class: type) -> None:
+    """Register a custom layer class as a valid fault injection target."""
+    if not isinstance(layer_class, type) or not issubclass(layer_class, Module):
+        raise TypeError("layer_class must be a Module subclass")
+    _INJECTABLE_LAYER_TYPES[name] = layer_class
+
+
+def verify_layer(module: Module, layer_types: Sequence[str]) -> str | None:
+    """Return the registered type name of ``module`` if it is injectable.
+
+    Args:
+        module: candidate module.
+        layer_types: names of allowed layer types (e.g. ``["conv2d", "fcc"]``).
+
+    Returns:
+        The matching type name, or ``None`` if the module is not injectable
+        under the requested types.
+    """
+    for name in layer_types:
+        if name not in _INJECTABLE_LAYER_TYPES:
+            raise KeyError(
+                f"unknown layer type {name!r}; registered: {sorted(_INJECTABLE_LAYER_TYPES)}"
+            )
+        if isinstance(module, _INJECTABLE_LAYER_TYPES[name]):
+            return name
+    return None
+
+
+@dataclass
+class LayerInfo:
+    """Description of one injectable layer discovered during profiling."""
+
+    index: int
+    name: str
+    layer_type: str
+    weight_shape: tuple[int, ...]
+    output_shape: tuple[int, ...] | None = None
+
+    @property
+    def num_weights(self) -> int:
+        """Number of scalar weights in the layer."""
+        return int(np.prod(self.weight_shape)) if self.weight_shape else 0
+
+    @property
+    def num_neurons(self) -> int:
+        """Number of output activations per input sample (0 if unknown)."""
+        if not self.output_shape or len(self.output_shape) < 2:
+            return 0
+        return int(np.prod(self.output_shape[1:]))
+
+
+@dataclass
+class NeuronFault:
+    """A single neuron fault location (Table I convention).
+
+    ``value`` is interpreted by the error model: for bit-flip models it is the
+    bit position, for value models it is the replacement value.
+    """
+
+    batch: int
+    layer: int
+    channel: int
+    depth: int
+    height: int
+    width: int
+    value: float
+
+    def coordinates(self) -> tuple[int, int, int, int, int, int]:
+        """Return the location rows (without the value) as a tuple."""
+        return (self.batch, self.layer, self.channel, self.depth, self.height, self.width)
+
+
+@dataclass
+class WeightFault:
+    """A single weight fault location.
+
+    For conv weights the rows address ``(out_channel, in_channel, [depth,]
+    height, width)`` of the kernel; for fully connected weights ``out_channel``
+    and ``in_channel`` address the 2D weight matrix and the remaining rows are
+    unused (:data:`UNSET`).
+    """
+
+    layer: int
+    out_channel: int
+    in_channel: int
+    depth: int
+    height: int
+    width: int
+    value: float
+
+    def coordinates(self) -> tuple[int, int, int, int, int, int]:
+        """Return the location rows (without the value) as a tuple."""
+        return (self.layer, self.out_channel, self.in_channel, self.depth, self.height, self.width)
+
+
+@dataclass
+class AppliedFault:
+    """Bookkeeping of one applied corruption (written to the result files)."""
+
+    target: str  # "neuron" or "weight"
+    layer: int
+    layer_name: str
+    coordinates: tuple[int, ...]
+    bit_position: int | None
+    original_value: float
+    corrupted_value: float
+    flip_direction: str | None
+
+    def as_dict(self) -> dict:
+        """Return a CSV/JSON-friendly representation."""
+        return {
+            "target": self.target,
+            "layer": self.layer,
+            "layer_name": self.layer_name,
+            "coordinates": list(self.coordinates),
+            "bit_position": self.bit_position,
+            "original_value": self.original_value,
+            "corrupted_value": self.corrupted_value,
+            "flip_direction": self.flip_direction,
+        }
+
+
+class FaultInjection:
+    """Profile a model and produce fault-corrupted copies of it.
+
+    Args:
+        model: the fault-free baseline model (never modified).
+        batch_size: batch size used for profiling and neuron coordinate checks.
+        input_shape: per-sample input shape, e.g. ``(3, 32, 32)``.
+        layer_types: names of layer types eligible for injection.
+        use_hooks_for_profiling: if False, skip the forward profiling pass
+            (output shapes stay unknown; only weight injection is possible).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        batch_size: int = 1,
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        layer_types: Sequence[str] = ("conv2d", "conv3d", "fcc"),
+        use_hooks_for_profiling: bool = True,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.original_model = model
+        self.batch_size = batch_size
+        self.input_shape = tuple(input_shape)
+        self.layer_types = tuple(layer_types)
+        self.layers: list[LayerInfo] = []
+        self._layer_modules: list[str] = []  # qualified module names per layer index
+        self.applied_faults: list[AppliedFault] = []
+        self._profile(use_hooks_for_profiling)
+
+    # ------------------------------------------------------------------ #
+    # profiling
+    # ------------------------------------------------------------------ #
+    def _profile(self, run_forward: bool) -> None:
+        """Enumerate injectable layers and record weight/output shapes."""
+        self.layers = []
+        self._layer_modules = []
+        for name, module in self.original_model.named_modules():
+            type_name = verify_layer(module, self.layer_types)
+            if type_name is None:
+                continue
+            weight_shape = tuple(module.weight.shape) if hasattr(module, "weight") else ()
+            self.layers.append(
+                LayerInfo(
+                    index=len(self.layers),
+                    name=name,
+                    layer_type=type_name,
+                    weight_shape=weight_shape,
+                )
+            )
+            self._layer_modules.append(name)
+        if not self.layers:
+            raise ValueError(
+                "model contains no injectable layers for the requested types "
+                f"{list(self.layer_types)}"
+            )
+        if run_forward:
+            self._record_output_shapes()
+
+    def _record_output_shapes(self) -> None:
+        """Run a dummy forward pass to capture each layer's output shape."""
+        probe = self.original_model.clone()
+        probe.eval()
+        handles: list[RemovableHandle] = []
+        shapes: dict[str, tuple[int, ...]] = {}
+
+        def make_hook(layer_name: str):
+            def hook(module, inputs, output):
+                shapes[layer_name] = tuple(np.asarray(output).shape)
+                return None
+
+            return hook
+
+        for info in self.layers:
+            module = probe.get_submodule(info.name)
+            handles.append(module.register_forward_hook(make_hook(info.name)))
+        dummy = np.zeros((self.batch_size, *self.input_shape), dtype=np.float32)
+        try:
+            probe(dummy)
+        finally:
+            for handle in handles:
+                handle.remove()
+        for info in self.layers:
+            info.output_shape = shapes.get(info.name)
+
+    # ------------------------------------------------------------------ #
+    # introspection helpers
+    # ------------------------------------------------------------------ #
+    def get_layer_info(self, layer_index: int) -> LayerInfo:
+        """Return the :class:`LayerInfo` for ``layer_index``."""
+        if not 0 <= layer_index < len(self.layers):
+            raise IndexError(
+                f"layer index {layer_index} out of range (model has {len(self.layers)} "
+                "injectable layers)"
+            )
+        return self.layers[layer_index]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of injectable layers found in the model."""
+        return len(self.layers)
+
+    def layer_weight_counts(self) -> list[int]:
+        """Number of weights per injectable layer."""
+        return [info.num_weights for info in self.layers]
+
+    def layer_neuron_counts(self) -> list[int]:
+        """Number of neurons (per sample) per injectable layer."""
+        return [info.num_neurons for info in self.layers]
+
+    # ------------------------------------------------------------------ #
+    # neuron fault injection
+    # ------------------------------------------------------------------ #
+    def declare_neuron_fault_injection(
+        self,
+        faults: Iterable[NeuronFault],
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Module:
+        """Return a copy of the model with neuron-corrupting hooks attached.
+
+        Args:
+            faults: the neuron fault locations to apply.
+            error_model: how the value row is interpreted.  Defaults to a
+                bit-flip model where ``fault.value`` is the bit position.
+            rng: random generator used by stochastic error models.
+
+        Returns:
+            A corrupted model instance; running inference with it applies the
+            faults and appends :class:`AppliedFault` records to
+            :attr:`applied_faults`.
+        """
+        faults = list(faults)
+        for fault in faults:
+            self._validate_neuron_fault(fault)
+        error_model = error_model if error_model is not None else BitFlipErrorModel()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        corrupted = self.original_model.clone()
+        corrupted.eval()
+
+        by_layer: dict[int, list[NeuronFault]] = {}
+        for fault in faults:
+            by_layer.setdefault(fault.layer, []).append(fault)
+
+        for layer_index, layer_faults in by_layer.items():
+            info = self.layers[layer_index]
+            module = corrupted.get_submodule(info.name)
+            module.register_forward_hook(
+                self._make_neuron_hook(info, layer_faults, error_model, rng)
+            )
+        return corrupted
+
+    def _make_neuron_hook(
+        self,
+        info: LayerInfo,
+        faults: list[NeuronFault],
+        error_model: ErrorModel,
+        rng: np.random.Generator,
+    ):
+        def hook(module, inputs, output):
+            output = np.asarray(output)
+            for fault in faults:
+                index = self._neuron_index(output.shape, fault)
+                if index is None:
+                    continue
+                original = float(output[index])
+                corrupted_value, details = self._corrupt_value(original, fault.value, error_model, rng)
+                output[index] = corrupted_value
+                self.applied_faults.append(
+                    AppliedFault(
+                        target="neuron",
+                        layer=info.index,
+                        layer_name=info.name,
+                        coordinates=fault.coordinates(),
+                        bit_position=details.get("bit_position"),
+                        original_value=original,
+                        corrupted_value=corrupted_value,
+                        flip_direction=details.get("flip_direction"),
+                    )
+                )
+            return output
+
+        return hook
+
+    def _neuron_index(self, output_shape: tuple[int, ...], fault: NeuronFault) -> tuple | None:
+        """Map Table-I coordinates onto an index into the layer output tensor.
+
+        Returns ``None`` when the fault's batch index exceeds the actual batch
+        size of the current inference (e.g. a smaller final batch).
+        """
+        ndim = len(output_shape)
+        if fault.batch >= output_shape[0]:
+            return None
+        if ndim == 2:  # (N, features) -- fully connected
+            return (fault.batch, fault.channel % output_shape[1])
+        if ndim == 4:  # (N, C, H, W) -- conv2d
+            return (
+                fault.batch,
+                fault.channel % output_shape[1],
+                fault.height % output_shape[2],
+                fault.width % output_shape[3],
+            )
+        if ndim == 5:  # (N, C, D, H, W) -- conv3d
+            return (
+                fault.batch,
+                fault.channel % output_shape[1],
+                fault.depth % output_shape[2],
+                fault.height % output_shape[3],
+                fault.width % output_shape[4],
+            )
+        raise ValueError(f"unsupported output tensor rank {ndim} for neuron injection")
+
+    def _validate_neuron_fault(self, fault: NeuronFault) -> None:
+        if not 0 <= fault.layer < len(self.layers):
+            raise IndexError(f"neuron fault addresses unknown layer {fault.layer}")
+        if fault.batch < 0 or fault.batch >= self.batch_size:
+            raise IndexError(
+                f"neuron fault batch index {fault.batch} outside batch size {self.batch_size}"
+            )
+        info = self.layers[fault.layer]
+        if info.output_shape is None:
+            raise RuntimeError(
+                f"layer {info.name} has no recorded output shape; profiling forward pass "
+                "is required for neuron injection"
+            )
+
+    # ------------------------------------------------------------------ #
+    # weight fault injection
+    # ------------------------------------------------------------------ #
+    def declare_weight_fault_injection(
+        self,
+        faults: Iterable[WeightFault],
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Module:
+        """Return a copy of the model with corrupted weight values.
+
+        The corruption is applied immediately (weights are known before the
+        inference run, so no hooks are needed, as the paper points out).
+        """
+        faults = list(faults)
+        error_model = error_model if error_model is not None else BitFlipErrorModel()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        corrupted = self.original_model.clone()
+        corrupted.eval()
+        for fault in faults:
+            self._apply_weight_fault(corrupted, fault, error_model, rng)
+        return corrupted
+
+    def _apply_weight_fault(
+        self,
+        model: Module,
+        fault: WeightFault,
+        error_model: ErrorModel,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 <= fault.layer < len(self.layers):
+            raise IndexError(f"weight fault addresses unknown layer {fault.layer}")
+        info = self.layers[fault.layer]
+        module = model.get_submodule(info.name)
+        weight = module.weight.data
+        index = self._weight_index(weight.shape, fault)
+        original = float(weight[index])
+        corrupted_value, details = self._corrupt_value(original, fault.value, error_model, rng)
+        weight[index] = corrupted_value
+        self.applied_faults.append(
+            AppliedFault(
+                target="weight",
+                layer=info.index,
+                layer_name=info.name,
+                coordinates=fault.coordinates(),
+                bit_position=details.get("bit_position"),
+                original_value=original,
+                corrupted_value=corrupted_value,
+                flip_direction=details.get("flip_direction"),
+            )
+        )
+
+    def _weight_index(self, weight_shape: tuple[int, ...], fault: WeightFault) -> tuple:
+        """Map weight fault coordinates onto an index into the weight tensor."""
+        ndim = len(weight_shape)
+        if ndim == 2:  # Linear: (out_features, in_features)
+            return (fault.out_channel % weight_shape[0], fault.in_channel % weight_shape[1])
+        if ndim == 4:  # Conv2d: (out, in, kh, kw)
+            return (
+                fault.out_channel % weight_shape[0],
+                fault.in_channel % weight_shape[1],
+                fault.height % weight_shape[2],
+                fault.width % weight_shape[3],
+            )
+        if ndim == 5:  # Conv3d: (out, in, kd, kh, kw)
+            return (
+                fault.out_channel % weight_shape[0],
+                fault.in_channel % weight_shape[1],
+                fault.depth % weight_shape[2],
+                fault.height % weight_shape[3],
+                fault.width % weight_shape[4],
+            )
+        raise ValueError(f"unsupported weight tensor rank {ndim} for weight injection")
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _corrupt_value(
+        original: float,
+        fault_value: float,
+        error_model: ErrorModel,
+        rng: np.random.Generator,
+    ) -> tuple[float, dict]:
+        """Apply the error model, honouring the fault's pre-drawn value row."""
+        if isinstance(error_model, BitFlipErrorModel):
+            # The fault matrix already drew the bit position: replay it exactly.
+            pinned = replace(error_model, bit_position=int(fault_value))
+            return pinned.corrupt(original, rng)
+        if isinstance(error_model, StuckAtErrorModel):
+            # Permanent faults are also located at the pre-drawn bit position.
+            pinned = replace(error_model, bit_position=int(fault_value))
+            return pinned.corrupt(original, rng)
+        if error_model.name == "random_value":
+            # The fault matrix already drew the replacement value.
+            corrupted = float(fault_value)
+            return corrupted, {
+                "original_value": original,
+                "corrupted_value": corrupted,
+                "bit_position": None,
+                "flip_direction": None,
+            }
+        return error_model.corrupt(original, rng)
+
+    def reset(self) -> None:
+        """Clear the applied-fault log (e.g. between experiment repetitions)."""
+        self.applied_faults = []

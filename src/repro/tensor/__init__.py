@@ -1,0 +1,46 @@
+"""Tensor-level utilities: dtype registry and IEEE-754 bit manipulation.
+
+PyTorchALFI models hardware faults as bit flips in the binary representation
+of weights or neuron activations.  This subpackage provides the exact
+float32 / float16 / integer bit-level operations that the fault injector uses,
+implemented with numpy views so the corrupted values are bit-identical to
+what a real flipped register would produce.
+"""
+
+from repro.tensor.bitops import (
+    BitFlipRecord,
+    bits_to_float,
+    bit_width,
+    flip_bit,
+    flip_bit_scalar,
+    float_to_bits,
+    format_bits,
+    get_bit,
+    set_bit,
+)
+from repro.tensor.dtypes import (
+    DTypeInfo,
+    SUPPORTED_DTYPES,
+    dtype_info,
+    exponent_bit_range,
+    mantissa_bit_range,
+    sign_bit,
+)
+
+__all__ = [
+    "BitFlipRecord",
+    "DTypeInfo",
+    "SUPPORTED_DTYPES",
+    "bit_width",
+    "bits_to_float",
+    "dtype_info",
+    "exponent_bit_range",
+    "flip_bit",
+    "flip_bit_scalar",
+    "float_to_bits",
+    "format_bits",
+    "get_bit",
+    "mantissa_bit_range",
+    "set_bit",
+    "sign_bit",
+]

@@ -1,0 +1,155 @@
+"""Numeric-type registry used by the fault models.
+
+The paper stresses that the numeric type determines which bit positions are
+vulnerable (exponent bits of floating point values have the highest impact).
+This module centralises everything the injector needs to know about a dtype:
+its bit width, which unsigned integer type mirrors its bit pattern, and where
+the sign / exponent / mantissa fields live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Static description of a supported numeric type.
+
+    Attributes:
+        name: canonical name used in scenario files (e.g. ``"float32"``).
+        np_dtype: the numpy dtype of stored values.
+        int_view: unsigned integer dtype with the same width, used to view
+            the raw bit pattern.
+        bits: total number of bits.
+        exponent_bits: number of exponent bits (0 for integer types).
+        mantissa_bits: number of mantissa bits (0 for integer types).
+        is_float: whether the type is an IEEE-754 floating point type.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    int_view: np.dtype
+    bits: int
+    exponent_bits: int
+    mantissa_bits: int
+    is_float: bool
+
+    @property
+    def sign_bit_position(self) -> int:
+        """Index of the sign bit (most significant bit)."""
+        return self.bits - 1
+
+    @property
+    def exponent_range(self) -> tuple[int, int]:
+        """Inclusive ``(low, high)`` bit positions of the exponent field."""
+        if not self.is_float:
+            raise ValueError(f"dtype {self.name} has no exponent field")
+        low = self.mantissa_bits
+        high = self.mantissa_bits + self.exponent_bits - 1
+        return (low, high)
+
+    @property
+    def mantissa_range(self) -> tuple[int, int]:
+        """Inclusive ``(low, high)`` bit positions of the mantissa field."""
+        if not self.is_float:
+            raise ValueError(f"dtype {self.name} has no mantissa field")
+        return (0, self.mantissa_bits - 1)
+
+
+SUPPORTED_DTYPES: dict[str, DTypeInfo] = {
+    "float32": DTypeInfo(
+        name="float32",
+        np_dtype=np.dtype(np.float32),
+        int_view=np.dtype(np.uint32),
+        bits=32,
+        exponent_bits=8,
+        mantissa_bits=23,
+        is_float=True,
+    ),
+    "float16": DTypeInfo(
+        name="float16",
+        np_dtype=np.dtype(np.float16),
+        int_view=np.dtype(np.uint16),
+        bits=16,
+        exponent_bits=5,
+        mantissa_bits=10,
+        is_float=True,
+    ),
+    "float64": DTypeInfo(
+        name="float64",
+        np_dtype=np.dtype(np.float64),
+        int_view=np.dtype(np.uint64),
+        bits=64,
+        exponent_bits=11,
+        mantissa_bits=52,
+        is_float=True,
+    ),
+    "int8": DTypeInfo(
+        name="int8",
+        np_dtype=np.dtype(np.int8),
+        int_view=np.dtype(np.uint8),
+        bits=8,
+        exponent_bits=0,
+        mantissa_bits=0,
+        is_float=False,
+    ),
+    "int16": DTypeInfo(
+        name="int16",
+        np_dtype=np.dtype(np.int16),
+        int_view=np.dtype(np.uint16),
+        bits=16,
+        exponent_bits=0,
+        mantissa_bits=0,
+        is_float=False,
+    ),
+    "int32": DTypeInfo(
+        name="int32",
+        np_dtype=np.dtype(np.int32),
+        int_view=np.dtype(np.uint32),
+        bits=32,
+        exponent_bits=0,
+        mantissa_bits=0,
+        is_float=False,
+    ),
+}
+
+
+def dtype_info(dtype: str | np.dtype | type) -> DTypeInfo:
+    """Look up the :class:`DTypeInfo` for a dtype given by name or numpy dtype.
+
+    Args:
+        dtype: a name like ``"float32"``, a numpy dtype object, or a numpy
+            scalar type such as ``np.float32``.
+
+    Returns:
+        The matching :class:`DTypeInfo`.
+
+    Raises:
+        KeyError: if the dtype is not supported by the fault models.
+    """
+    if isinstance(dtype, str):
+        key = dtype
+    else:
+        key = np.dtype(dtype).name
+    if key not in SUPPORTED_DTYPES:
+        supported = ", ".join(sorted(SUPPORTED_DTYPES))
+        raise KeyError(f"unsupported dtype {key!r}; supported: {supported}")
+    return SUPPORTED_DTYPES[key]
+
+
+def sign_bit(dtype: str | np.dtype | type) -> int:
+    """Return the bit position of the sign bit for ``dtype``."""
+    return dtype_info(dtype).sign_bit_position
+
+
+def exponent_bit_range(dtype: str | np.dtype | type) -> tuple[int, int]:
+    """Return the inclusive bit range of the exponent field for ``dtype``."""
+    return dtype_info(dtype).exponent_range
+
+
+def mantissa_bit_range(dtype: str | np.dtype | type) -> tuple[int, int]:
+    """Return the inclusive bit range of the mantissa field for ``dtype``."""
+    return dtype_info(dtype).mantissa_range

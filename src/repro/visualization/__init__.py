@@ -1,0 +1,22 @@
+"""Text-based visualisation of fault injection results.
+
+The original PyTorchALFI ships matplotlib-based plotting limited to object
+detection.  In this offline reproduction the visualisation layer renders
+results as plain-text bar charts and CSV-ready tables, which keeps the
+dependency footprint minimal while still giving campaigns a human-readable
+summary (and the benchmark harness something to print for every figure).
+"""
+
+from repro.visualization.plots import (
+    bar_chart,
+    comparison_table,
+    sde_per_bit_chart,
+    sde_per_layer_chart,
+)
+
+__all__ = [
+    "bar_chart",
+    "comparison_table",
+    "sde_per_bit_chart",
+    "sde_per_layer_chart",
+]

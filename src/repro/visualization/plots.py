@@ -1,0 +1,98 @@
+"""Plain-text charts and tables for campaign results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Render a horizontal bar chart as text.
+
+    Args:
+        values: mapping of label -> value.
+        title: optional chart heading.
+        width: maximum bar width in characters.
+        unit: unit string appended to the value.
+        max_value: scale of a full-width bar; defaults to the maximum value.
+
+    Returns:
+        A multi-line string.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    scale = max_value if max_value is not None else max(values.values())
+    scale = scale if scale > 0 else 1.0
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        filled = int(round(min(max(value / scale, 0.0), 1.0) * width))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} | {bar.ljust(width)} {value:.4f}{unit}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    widths = {
+        column: max(len(column), max(len(_format_cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_format_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def sde_per_bit_chart(sde_by_bit: Mapping[int, float], title: str = "SDE rate per bit position") -> str:
+    """Chart SDE rate against flipped bit position (Section V item 2d)."""
+    ordered = {f"bit {bit:02d}": rate for bit, rate in sorted(sde_by_bit.items())}
+    return bar_chart(ordered, title=title, max_value=1.0)
+
+
+def sde_per_layer_chart(
+    sde_by_layer: Mapping[int, float],
+    title: str = "SDE rate per layer",
+    layer_names: Mapping[int, str] | None = None,
+) -> str:
+    """Chart SDE rate against the injected layer (Section V item 2a)."""
+    ordered = {}
+    for layer, rate in sorted(sde_by_layer.items()):
+        label = f"layer {layer:02d}"
+        if layer_names and layer in layer_names:
+            label = f"{label} ({layer_names[layer]})"
+        ordered[label] = rate
+    return bar_chart(ordered, title=title, max_value=1.0)

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep models and datasets intentionally tiny so the full suite
+runs in seconds while still exercising every code path of the fault
+injection framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.alficore import default_scenario
+from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.models import lenet5, mlp
+from repro.models.detection import yolov3_tiny
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_images(rng) -> np.ndarray:
+    """A small batch of random images (2, 3, 32, 32)."""
+    return rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+
+
+@pytest.fixture
+def tiny_cnn() -> nn.Module:
+    """A minimal CNN with conv and linear layers (fast to run)."""
+
+    class TinyCNN(nn.Module):
+        def __init__(self):
+            super().__init__()
+            rng = np.random.default_rng(0)
+            self.conv1 = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+            self.relu = nn.ReLU()
+            self.pool = nn.MaxPool2d(4)
+            self.flatten = nn.Flatten()
+            self.fc = nn.Linear(4 * 8 * 8, 10, rng=rng)
+
+        def forward(self, x):
+            x = self.pool(self.relu(self.conv1(x)))
+            return self.fc(self.flatten(x))
+
+    return TinyCNN().eval()
+
+
+@pytest.fixture
+def lenet_model() -> nn.Module:
+    """LeNet-5 instance with deterministic weights."""
+    return lenet5(num_classes=10, seed=0).eval()
+
+
+@pytest.fixture
+def mlp_model() -> nn.Module:
+    """Small MLP classifier."""
+    return mlp(num_classes=10, seed=0).eval()
+
+
+@pytest.fixture
+def classification_dataset() -> SyntheticClassificationDataset:
+    """Small synthetic classification dataset."""
+    return SyntheticClassificationDataset(num_samples=12, num_classes=10, noise=0.2, seed=1)
+
+
+@pytest.fixture
+def detection_dataset() -> CocoLikeDetectionDataset:
+    """Small synthetic CoCo-style detection dataset."""
+    return CocoLikeDetectionDataset(num_samples=6, num_classes=5, seed=2)
+
+
+@pytest.fixture
+def detector_model():
+    """Tiny YOLO-style detector."""
+    return yolov3_tiny(num_classes=5, seed=0).eval()
+
+
+@pytest.fixture
+def neuron_scenario():
+    """Default scenario targeting neurons, sized for the test datasets."""
+    return default_scenario(dataset_size=12, injection_target="neurons", random_seed=7)
+
+
+@pytest.fixture
+def weight_scenario():
+    """Default scenario targeting weights, sized for the test datasets."""
+    return default_scenario(dataset_size=12, injection_target="weights", random_seed=7)

@@ -1,0 +1,178 @@
+"""Unit tests for fault matrix generation and persistence (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.alficore import FaultMatrix, FaultMatrixGenerator, NEURON_ROWS, WEIGHT_ROWS, default_scenario
+from repro.pytorchfi import FaultInjection
+from repro.pytorchfi.core import UNSET
+
+
+@pytest.fixture
+def lenet_fi(lenet_model):
+    return FaultInjection(lenet_model, input_shape=(3, 32, 32))
+
+
+class TestFaultMatrixContainer:
+    def test_row_labels(self):
+        matrix = FaultMatrix(np.zeros((7, 3)), "neurons", {})
+        assert matrix.rows == NEURON_ROWS
+        matrix = FaultMatrix(np.zeros((7, 3)), "weights", {})
+        assert matrix.rows == WEIGHT_ROWS
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            FaultMatrix(np.zeros((6, 3)), "neurons", {})
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            FaultMatrix(np.zeros((7, 3)), "biases", {})
+
+    def test_column_access(self):
+        matrix = FaultMatrix(np.arange(14).reshape(7, 2), "neurons", {})
+        np.testing.assert_array_equal(matrix.column(1), [1, 3, 5, 7, 9, 11, 13])
+        with pytest.raises(IndexError):
+            matrix.column(2)
+
+    def test_columns_submatrix(self):
+        matrix = FaultMatrix(np.arange(21).reshape(7, 3), "neurons", {})
+        sub = matrix.columns([0, 2])
+        assert sub.shape == (7, 2)
+
+    def test_conversion_guards(self):
+        neurons = FaultMatrix(np.zeros((7, 2)), "neurons", {})
+        weights = FaultMatrix(np.zeros((7, 2)), "weights", {})
+        with pytest.raises(ValueError):
+            neurons.to_weight_faults([0])
+        with pytest.raises(ValueError):
+            weights.to_neuron_faults([0])
+
+
+class TestGeneration:
+    def test_number_of_columns(self, lenet_fi):
+        scenario = default_scenario(dataset_size=5, num_runs=2, max_faults_per_image=3)
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        assert matrix.num_faults == scenario.total_faults == 30
+        assert matrix.matrix.shape == (7, 30)
+
+    def test_neuron_coordinates_within_layer_shapes(self, lenet_fi):
+        scenario = default_scenario(dataset_size=50, injection_target="neurons")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        for column_index in range(matrix.num_faults):
+            fault = matrix.to_neuron_faults([column_index])[0]
+            info = lenet_fi.get_layer_info(fault.layer)
+            shape = info.output_shape
+            assert 0 <= fault.layer < lenet_fi.num_layers
+            if len(shape) == 2:
+                assert 0 <= fault.channel < shape[1]
+                assert fault.height == UNSET and fault.width == UNSET
+            else:
+                assert 0 <= fault.channel < shape[1]
+                assert 0 <= fault.height < shape[2]
+                assert 0 <= fault.width < shape[3]
+
+    def test_weight_coordinates_within_weight_shapes(self, lenet_fi):
+        scenario = default_scenario(dataset_size=50, injection_target="weights")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        for column_index in range(matrix.num_faults):
+            fault = matrix.to_weight_faults([column_index])[0]
+            shape = lenet_fi.get_layer_info(fault.layer).weight_shape
+            assert 0 <= fault.out_channel < shape[0]
+            assert 0 <= fault.in_channel < shape[1]
+            if len(shape) == 4:
+                assert 0 <= fault.height < shape[2]
+                assert 0 <= fault.width < shape[3]
+
+    def test_bitflip_values_within_bit_range(self, lenet_fi):
+        scenario = default_scenario(dataset_size=40, rnd_value_type="bitflip", rnd_bit_range=(23, 30))
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        values = matrix.matrix[6, :]
+        assert values.min() >= 23 and values.max() <= 30
+        np.testing.assert_array_equal(values, values.astype(int))
+
+    def test_number_values_within_range(self, lenet_fi):
+        scenario = default_scenario(
+            dataset_size=40, rnd_value_type="number", rnd_value_min=-0.5, rnd_value_max=0.5
+        )
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        values = matrix.matrix[6, :]
+        assert values.min() >= -0.5 and values.max() <= 0.5
+
+    def test_layer_range_respected(self, lenet_fi):
+        scenario = default_scenario(dataset_size=40, layer_range=(0, 1))
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        assert set(np.unique(matrix.matrix[1, :])) <= {0.0, 1.0}
+
+    def test_layer_range_exceeding_model_raises(self, lenet_fi):
+        scenario = default_scenario(layer_range=(0, 99))
+        with pytest.raises(ValueError):
+            FaultMatrixGenerator(lenet_fi, scenario)
+
+    def test_same_seed_same_matrix(self, lenet_fi):
+        scenario = default_scenario(dataset_size=10, random_seed=5)
+        first = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        second = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        assert first == second
+
+    def test_different_seed_different_matrix(self, lenet_fi):
+        first = FaultMatrixGenerator(lenet_fi, default_scenario(dataset_size=10, random_seed=1)).generate()
+        second = FaultMatrixGenerator(lenet_fi, default_scenario(dataset_size=10, random_seed=2)).generate()
+        assert first != second
+
+    def test_batch_row_for_per_image_policy(self, lenet_fi):
+        scenario = default_scenario(dataset_size=6, batch_size=2, inj_policy="per_image")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        batch_rows = matrix.matrix[0, :].astype(int)
+        expected = [i % 2 for i in range(6)]
+        np.testing.assert_array_equal(batch_rows, expected)
+
+    def test_metadata_contains_scenario(self, lenet_fi):
+        scenario = default_scenario(dataset_size=4, model_name="lenet")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        assert matrix.metadata["model_name"] == "lenet"
+        assert matrix.metadata["scenario"]["dataset_size"] == 4
+        assert len(matrix.metadata["layer_names"]) == lenet_fi.num_layers
+
+    def test_invalid_fault_count(self, lenet_fi):
+        generator = FaultMatrixGenerator(lenet_fi, default_scenario())
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, lenet_fi, tmp_path):
+        scenario = default_scenario(dataset_size=8, injection_target="weights")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        path = matrix.save(tmp_path / "faults.npz")
+        loaded = FaultMatrix.load(path)
+        assert loaded == matrix
+        assert loaded.metadata["scenario"]["dataset_size"] == 8
+
+    def test_load_without_suffix(self, lenet_fi, tmp_path):
+        matrix = FaultMatrixGenerator(lenet_fi, default_scenario(dataset_size=3)).generate()
+        matrix.save(tmp_path / "faults")
+        loaded = FaultMatrix.load(tmp_path / "faults")
+        assert loaded == matrix
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FaultMatrix.load(tmp_path / "nothing.npz")
+
+    def test_reused_faults_reproduce_identical_corruption(self, lenet_model, lenet_fi, tmp_path):
+        """The paper's key reuse property: the same stored fault set produces
+
+        bit-identical corrupted weights in two separate experiments."""
+        scenario = default_scenario(dataset_size=5, injection_target="weights")
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        path = matrix.save(tmp_path / "faults.npz")
+        loaded = FaultMatrix.load(path)
+
+        faults_a = matrix.to_weight_faults(range(matrix.num_faults))
+        faults_b = loaded.to_weight_faults(range(loaded.num_faults))
+        model_a = lenet_fi.declare_weight_fault_injection(faults_a)
+        model_b = lenet_fi.declare_weight_fault_injection(faults_b)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)

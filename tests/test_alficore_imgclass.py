@@ -1,0 +1,127 @@
+"""Integration tests for the classification campaign runner."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.alficore import TestErrorModels_ImgClass, default_scenario
+from repro.alficore.protection import apply_protection, collect_activation_bounds
+from repro.data import SyntheticClassificationDataset
+from repro.models import lenet5
+from repro.models.pretrained import fit_classifier_head
+
+# The class name starts with "Test" but is a campaign runner, not a test case.
+TestErrorModels_ImgClass.__test__ = False
+
+
+@pytest.fixture(scope="module")
+def fitted_model_and_dataset():
+    dataset = SyntheticClassificationDataset(num_samples=10, num_classes=10, noise=0.2, seed=5)
+    model = fit_classifier_head(lenet5(seed=1), dataset, 10)
+    return model, dataset
+
+
+class TestClassificationCampaign:
+    def test_weight_campaign_end_to_end(self, fitted_model_and_dataset, tmp_path):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(23, 30), random_seed=3)
+        runner = TestErrorModels_ImgClass(
+            model=model,
+            model_name="lenet_weights",
+            dataset=dataset,
+            scenario=scenario,
+            output_dir=tmp_path,
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_image")
+        assert output.corrupted.num_inferences == len(dataset)
+        assert output.corrupted.golden_top1_accuracy >= 0.9
+        assert 0.0 <= output.corrupted.sde_rate <= 1.0
+        assert output.corrupted.masked_rate + output.corrupted.sde_rate + output.corrupted.due_rate == pytest.approx(1.0)
+        assert output.golden_logits.shape == output.corrupted_logits.shape
+
+    def test_neuron_campaign(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="neurons", rnd_bit_range=(0, 31), random_seed=4)
+        runner = TestErrorModels_ImgClass(
+            model=model, model_name="lenet_neurons", dataset=dataset, scenario=scenario
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1)
+        assert output.corrupted.num_inferences == len(dataset)
+        # Every inference must have applied exactly one neuron fault.
+        assert len(runner.wrapper.fault_injection.applied_faults) == len(dataset)
+
+    def test_output_files_written(self, fitted_model_and_dataset, tmp_path):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", random_seed=5)
+        runner = TestErrorModels_ImgClass(
+            model=model, model_name="files", dataset=dataset, scenario=scenario, output_dir=tmp_path
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1)
+        for key in ("meta", "faults", "applied_faults", "golden_csv", "corrupted_csv", "kpis"):
+            assert key in output.output_files
+            assert Path(output.output_files[key]).exists()
+        kpis = json.loads(Path(output.output_files["kpis"]).read_text())
+        assert "corrupted" in kpis
+
+    def test_corrupted_csv_contains_fault_positions(self, fitted_model_and_dataset, tmp_path):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", random_seed=6)
+        runner = TestErrorModels_ImgClass(
+            model=model, model_name="csvcheck", dataset=dataset, scenario=scenario, output_dir=tmp_path
+        )
+        runner.test_rand_ImgClass_SBFs_inj(num_faults=2)
+        from repro.alficore.results import CampaignResultWriter
+
+        rows = CampaignResultWriter(tmp_path, "csvcheck").read_classification_csv("corrupted")
+        assert len(rows) == len(dataset)
+        positions = json.loads(rows[0]["fault_positions"])
+        assert len(positions) == 2
+        assert {"layer", "bit_position", "original_value", "corrupted_value"} <= set(positions[0])
+
+    def test_resil_model_evaluated_under_same_faults(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
+        bounds = collect_activation_bounds(model, [calibration])
+        hardened = apply_protection(model, bounds, "ranger")
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(30, 30), random_seed=7)
+        runner = TestErrorModels_ImgClass(
+            model=model, resil_model=hardened, model_name="resil", dataset=dataset, scenario=scenario
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1)
+        assert output.resil is not None
+        assert output.resil_logits is not None
+        # Hardened model must not be worse overall (SDE + DUE) than the
+        # unprotected one under identical exponent-MSB faults.
+        unprotected_total = output.corrupted.sde_rate + output.corrupted.due_rate
+        protected_total = output.resil.sde_rate + output.resil.due_rate
+        assert protected_total <= unprotected_total + 1e-9
+
+    def test_fault_file_reuse_produces_identical_outcomes(self, fitted_model_and_dataset, tmp_path):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(23, 30), random_seed=8)
+        first = TestErrorModels_ImgClass(
+            model=model, model_name="first", dataset=dataset, scenario=scenario, output_dir=tmp_path
+        )
+        out_first = first.test_rand_ImgClass_SBFs_inj(num_faults=1)
+        fault_file = out_first.output_files["faults"]
+
+        second = TestErrorModels_ImgClass(
+            model=model, model_name="second", dataset=dataset, scenario=scenario
+        )
+        out_second = second.test_rand_ImgClass_SBFs_inj(num_faults=1, fault_file=fault_file)
+        np.testing.assert_allclose(out_first.corrupted_logits, out_second.corrupted_logits)
+
+    def test_requires_dataset(self):
+        with pytest.raises(ValueError):
+            TestErrorModels_ImgClass(model=lenet5(), dataset=None)
+
+    def test_num_runs_multiplies_inferences(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", random_seed=9)
+        runner = TestErrorModels_ImgClass(
+            model=model, model_name="epochs", dataset=dataset, scenario=scenario
+        )
+        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, num_runs=2)
+        assert output.corrupted.num_inferences == 2 * len(dataset)

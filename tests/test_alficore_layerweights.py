@@ -1,0 +1,71 @@
+"""Unit tests for the Eq. 1 layer weighting."""
+
+import numpy as np
+import pytest
+
+from repro.alficore import layer_weight_factors, weighted_layer_choice
+from repro.alficore.layerweights import layer_sizes_for_target
+from repro.pytorchfi import FaultInjection
+
+
+class TestLayerWeightFactors:
+    def test_probabilities_sum_to_one(self):
+        factors = layer_weight_factors([10, 20, 70])
+        np.testing.assert_allclose(factors.sum(), 1.0)
+
+    def test_proportional_to_sizes(self):
+        factors = layer_weight_factors([10, 30])
+        np.testing.assert_allclose(factors, [0.25, 0.75])
+
+    def test_matches_equation_one(self):
+        # F_i = prod_j d_ij / sum_i prod_j d_ij with explicit dimension tuples.
+        dims = [(64, 3, 3, 3), (128, 64, 3, 3), (10, 128)]
+        sizes = [int(np.prod(d)) for d in dims]
+        factors = layer_weight_factors(sizes)
+        expected = np.asarray(sizes, dtype=float) / sum(sizes)
+        np.testing.assert_allclose(factors, expected)
+
+    def test_zero_sizes_fall_back_to_uniform(self):
+        np.testing.assert_allclose(layer_weight_factors([0, 0, 0]), [1 / 3] * 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            layer_weight_factors([])
+        with pytest.raises(ValueError):
+            layer_weight_factors([1, -2])
+
+
+class TestWeightedLayerChoice:
+    def test_sizes_for_target(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        assert layer_sizes_for_target(fi, "weights") == fi.layer_weight_counts()
+        assert layer_sizes_for_target(fi, "neurons") == fi.layer_neuron_counts()
+        with pytest.raises(ValueError):
+            layer_sizes_for_target(fi, "biases")
+
+    def test_weighted_draws_follow_layer_sizes(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        rng = np.random.default_rng(0)
+        draws = weighted_layer_choice(fi, "weights", rng, size=4000, weighted=True)
+        empirical = np.bincount(draws, minlength=fi.num_layers) / len(draws)
+        expected = layer_weight_factors(fi.layer_weight_counts())
+        np.testing.assert_allclose(empirical, expected, atol=0.03)
+
+    def test_uniform_draws_ignore_sizes(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        rng = np.random.default_rng(0)
+        draws = weighted_layer_choice(fi, "weights", rng, size=4000, weighted=False)
+        empirical = np.bincount(draws, minlength=fi.num_layers) / len(draws)
+        np.testing.assert_allclose(empirical, 1.0 / fi.num_layers, atol=0.03)
+
+    def test_layer_range_restriction(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        rng = np.random.default_rng(1)
+        draws = weighted_layer_choice(fi, "neurons", rng, size=200, layer_range=(1, 2))
+        assert set(np.unique(draws)) <= {1, 2}
+
+    def test_invalid_layer_range(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            weighted_layer_choice(fi, "neurons", rng, size=5, layer_range=(0, 99))

@@ -1,0 +1,128 @@
+"""Unit tests for the NaN/Inf monitors and custom monitoring hooks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.alficore import InferenceMonitor, RangeMonitor
+from repro.alficore.monitoring import output_has_nan_or_inf
+from repro.models.detection.detectors import Detection
+
+
+@pytest.fixture
+def simple_model():
+    rng = np.random.default_rng(0)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)).eval()
+
+
+class TestInferenceMonitor:
+    def test_clean_inference_reports_nothing(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        with monitor:
+            simple_model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert not result.nan_detected
+        assert not result.inf_detected
+        assert not result.due_detected
+
+    def test_nan_input_detected(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        with monitor:
+            simple_model(np.full((1, 4), np.nan, dtype=np.float32))
+            result = monitor.collect()
+        assert result.nan_detected
+        assert result.due_detected
+        assert len(result.nan_layers) > 0
+
+    def test_inf_detected_with_layer_name(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        with monitor:
+            simple_model(np.full((1, 4), np.finfo(np.float32).max, dtype=np.float32))
+            result = monitor.collect()
+        assert result.inf_detected
+        assert all(isinstance(name, str) and name for name in result.inf_layers)
+
+    def test_collect_resets_state(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        monitor.attach()
+        simple_model(np.full((1, 4), np.nan, dtype=np.float32))
+        first = monitor.collect()
+        simple_model(np.ones((1, 4), dtype=np.float32))
+        second = monitor.collect()
+        monitor.detach()
+        assert first.nan_detected and not second.nan_detected
+
+    def test_detach_removes_hooks(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        monitor.attach()
+        monitor.detach()
+        simple_model(np.full((1, 4), np.nan, dtype=np.float32))
+        assert not monitor.collect().nan_detected
+
+    def test_layer_name_filter(self, simple_model):
+        monitor = InferenceMonitor(simple_model, layer_names=["2"])
+        with monitor:
+            simple_model(np.full((1, 4), np.nan, dtype=np.float32))
+            result = monitor.collect()
+        assert set(result.nan_layers) == {"2"}
+
+    def test_attach_is_idempotent(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        monitor.attach()
+        monitor.attach()
+        simple_model(np.full((1, 4), np.nan, dtype=np.float32))
+        result = monitor.collect()
+        monitor.detach()
+        # Each leaf layer reports at most once per inference.
+        assert len(result.nan_layers) == len(set(result.nan_layers))
+
+    def test_custom_monitor_events(self, simple_model):
+        monitor = InferenceMonitor(simple_model, custom_monitors=[RangeMonitor(bound=1e-6)])
+        with monitor:
+            simple_model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert len(result.custom_events) > 0
+        assert result.custom_events[0]["monitor"] == "range"
+
+    def test_monitor_result_as_dict(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        with monitor:
+            simple_model(np.ones((1, 4), dtype=np.float32))
+            data = monitor.collect().as_dict()
+        assert set(data) == {"nan_detected", "inf_detected", "nan_layers", "inf_layers", "custom_events"}
+
+
+class TestRangeMonitor:
+    def test_flags_out_of_range(self):
+        monitor = RangeMonitor(bound=10.0)
+        event = monitor("layer", np.array([100.0]))
+        assert event["peak"] == 100.0
+
+    def test_ignores_in_range(self):
+        assert RangeMonitor(bound=10.0)("layer", np.array([5.0])) is None
+
+    def test_ignores_all_nan(self):
+        assert RangeMonitor(bound=10.0)("layer", np.array([np.nan])) is None
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            RangeMonitor(bound=0)
+
+
+class TestOutputNanInfCheck:
+    def test_array_output(self):
+        assert output_has_nan_or_inf(np.array([1.0, np.nan])) == (True, False)
+        assert output_has_nan_or_inf(np.array([1.0, np.inf])) == (False, True)
+        assert output_has_nan_or_inf(np.array([1.0, 2.0])) == (False, False)
+
+    def test_detection_list_output(self):
+        clean = Detection(boxes=np.array([[0, 0, 1, 1.0]]), scores=np.array([0.5]), labels=np.array([0]))
+        broken = Detection(
+            boxes=np.array([[0, 0, np.inf, 1.0]]), scores=np.array([np.nan]), labels=np.array([0])
+        )
+        assert output_has_nan_or_inf([clean]) == (False, False)
+        assert output_has_nan_or_inf([broken]) == (True, True)
+
+    def test_empty_output(self):
+        assert output_has_nan_or_inf(np.zeros((0,))) == (False, False)
+        assert output_has_nan_or_inf([Detection()]) == (False, False)

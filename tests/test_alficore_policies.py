@@ -1,0 +1,82 @@
+"""Unit tests for the injection policies (per_image / per_batch / per_epoch)."""
+
+import pytest
+
+from repro.alficore import InjectionPolicy, default_scenario, fault_column_for_step, faults_required
+from repro.alficore.policies import groups_in_campaign
+
+
+class TestPolicyParsing:
+    def test_from_string(self):
+        assert InjectionPolicy.from_string("per_image") is InjectionPolicy.PER_IMAGE
+        assert InjectionPolicy.from_string("per_batch") is InjectionPolicy.PER_BATCH
+        assert InjectionPolicy.from_string("per_epoch") is InjectionPolicy.PER_EPOCH
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            InjectionPolicy.from_string("per_neuron")
+
+
+class TestGroupCounts:
+    def test_per_image_groups(self):
+        scenario = default_scenario(dataset_size=10, num_runs=3, inj_policy="per_image")
+        assert groups_in_campaign(scenario) == 30
+
+    def test_per_batch_groups(self):
+        scenario = default_scenario(dataset_size=10, num_runs=2, batch_size=4, inj_policy="per_batch")
+        assert groups_in_campaign(scenario) == 3 * 2  # ceil(10/4) batches per epoch
+
+    def test_per_epoch_groups(self):
+        scenario = default_scenario(dataset_size=10, num_runs=5, inj_policy="per_epoch")
+        assert groups_in_campaign(scenario) == 5
+
+    def test_faults_required_scales_with_faults_per_image(self):
+        scenario = default_scenario(dataset_size=10, num_runs=2, max_faults_per_image=3)
+        assert faults_required(scenario) == 60
+
+    def test_faults_required_per_epoch_is_smaller(self):
+        per_image = default_scenario(dataset_size=10, num_runs=2, inj_policy="per_image")
+        per_epoch = default_scenario(dataset_size=10, num_runs=2, inj_policy="per_epoch")
+        assert faults_required(per_epoch) < faults_required(per_image)
+
+
+class TestColumnMapping:
+    def test_per_image_mapping(self):
+        scenario = default_scenario(dataset_size=4, max_faults_per_image=2, inj_policy="per_image")
+        assert fault_column_for_step(scenario, epoch=0, batch_index=0, image_index=0) == [0, 1]
+        assert fault_column_for_step(scenario, epoch=0, batch_index=0, image_index=3) == [6, 7]
+        assert fault_column_for_step(scenario, epoch=1, batch_index=0, image_index=0) == [8, 9]
+
+    def test_per_batch_mapping(self):
+        scenario = default_scenario(
+            dataset_size=6, batch_size=3, max_faults_per_image=1, inj_policy="per_batch"
+        )
+        assert fault_column_for_step(scenario, 0, 0, 0) == [0]
+        assert fault_column_for_step(scenario, 0, 0, 2) == [0]  # same batch, same fault
+        assert fault_column_for_step(scenario, 0, 1, 3) == [1]
+        assert fault_column_for_step(scenario, 1, 0, 0) == [2]
+
+    def test_per_epoch_mapping(self):
+        scenario = default_scenario(dataset_size=5, inj_policy="per_epoch", max_faults_per_image=2)
+        assert fault_column_for_step(scenario, 0, 0, 0) == [0, 1]
+        assert fault_column_for_step(scenario, 0, 1, 4) == [0, 1]
+        assert fault_column_for_step(scenario, 2, 0, 0) == [4, 5]
+
+    def test_all_columns_covered_per_image(self):
+        scenario = default_scenario(dataset_size=3, num_runs=2, max_faults_per_image=2)
+        seen = []
+        for epoch in range(2):
+            for image in range(3):
+                seen.extend(fault_column_for_step(scenario, epoch, image, image))
+        assert sorted(seen) == list(range(faults_required(scenario)))
+
+    def test_invalid_indices(self):
+        scenario = default_scenario(dataset_size=4)
+        with pytest.raises(ValueError):
+            fault_column_for_step(scenario, -1, 0, 0)
+        with pytest.raises(ValueError):
+            fault_column_for_step(scenario, 0, 0, 10)
+        with pytest.raises(ValueError):
+            fault_column_for_step(
+                default_scenario(dataset_size=4, batch_size=2, inj_policy="per_batch"), 0, 5, 0
+            )

@@ -1,0 +1,141 @@
+"""Unit tests for the Ranger / Clipper hardening layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.alficore import apply_protection, collect_activation_bounds
+from repro.alficore.protection import (
+    ActivationBounds,
+    Clipper,
+    ProtectedLayer,
+    Ranger,
+    count_protected_layers,
+)
+from repro.pytorchfi import FaultInjection
+from repro.pytorchfi.core import WeightFault
+
+
+class TestGuardModules:
+    def test_ranger_clamps(self):
+        guard = Ranger(-1.0, 2.0)
+        out = guard(np.array([-5.0, 0.5, 7.0], dtype=np.float32))
+        np.testing.assert_allclose(out, [-1.0, 0.5, 2.0])
+
+    def test_ranger_handles_nan_and_inf(self):
+        guard = Ranger(-1.0, 2.0)
+        out = guard(np.array([np.nan, np.inf, -np.inf], dtype=np.float32))
+        np.testing.assert_allclose(out, [2.0, 2.0, -1.0])
+        assert np.isfinite(out).all()
+
+    def test_clipper_zeroes_out_of_range(self):
+        guard = Clipper(-1.0, 2.0)
+        out = guard(np.array([-5.0, 0.5, 7.0], dtype=np.float32))
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.0])
+
+    def test_clipper_zeroes_nan_inf(self):
+        guard = Clipper(-1.0, 2.0)
+        out = guard(np.array([np.nan, np.inf], dtype=np.float32))
+        np.testing.assert_allclose(out, [0.0, 0.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Ranger(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Clipper(2.0, 1.0)
+
+
+class TestBoundCollection:
+    def test_bounds_cover_observed_activations(self, lenet_model, small_images):
+        bounds = collect_activation_bounds(lenet_model, [small_images], margin=1.0)
+        assert len(bounds.lower) == 5  # one entry per conv/linear layer
+        for name in bounds.lower:
+            assert bounds.lower[name] <= bounds.upper[name]
+
+    def test_margin_widens_bounds(self, lenet_model, small_images):
+        tight = collect_activation_bounds(lenet_model, [small_images], margin=1.0)
+        wide = collect_activation_bounds(lenet_model, [small_images], margin=2.0)
+        for name in tight.upper:
+            if tight.upper[name] > 0:
+                assert wide.upper[name] >= tight.upper[name]
+
+    def test_invalid_margin(self, lenet_model, small_images):
+        with pytest.raises(ValueError):
+            collect_activation_bounds(lenet_model, [small_images], margin=0)
+
+    def test_bound_for_unknown_layer_is_infinite(self):
+        bounds = ActivationBounds(lower={}, upper={})
+        low, high = bounds.bound_for("whatever")
+        assert low == -np.inf and high == np.inf
+
+    def test_global_bounds(self):
+        bounds = ActivationBounds(lower={"a": -1.0, "b": -3.0}, upper={"a": 5.0, "b": 2.0})
+        assert bounds.global_bounds() == (-3.0, 5.0)
+
+    def test_as_dict(self):
+        bounds = ActivationBounds(lower={"a": -1.0}, upper={"a": 1.0})
+        assert bounds.as_dict() == {"lower": {"a": -1.0}, "upper": {"a": 1.0}}
+
+
+class TestApplyProtection:
+    def test_protected_layers_inserted(self, lenet_model, small_images):
+        bounds = collect_activation_bounds(lenet_model, [small_images])
+        protected = apply_protection(lenet_model, bounds, "ranger")
+        assert count_protected_layers(protected) == 5
+        assert count_protected_layers(lenet_model) == 0
+
+    def test_protection_preserves_fault_free_output(self, lenet_model, small_images):
+        bounds = collect_activation_bounds(lenet_model, [small_images], margin=1.05)
+        for protection in ("ranger", "clipper"):
+            protected = apply_protection(lenet_model, bounds, protection)
+            np.testing.assert_allclose(
+                protected(small_images), lenet_model(small_images), rtol=1e-4, atol=1e-4
+            )
+
+    def test_unknown_protection_raises(self, lenet_model, small_images):
+        bounds = collect_activation_bounds(lenet_model, [small_images])
+        with pytest.raises(KeyError):
+            apply_protection(lenet_model, bounds, "shield")
+
+    def test_protection_survives_clone(self, lenet_model, small_images):
+        bounds = collect_activation_bounds(lenet_model, [small_images])
+        protected = apply_protection(lenet_model, bounds, "ranger")
+        cloned = protected.clone()
+        assert count_protected_layers(cloned) == count_protected_layers(protected)
+
+    def test_injectable_layer_order_preserved(self, lenet_model, small_images):
+        """The same fault matrix must address the same layers in both models."""
+        bounds = collect_activation_bounds(lenet_model, [small_images])
+        protected = apply_protection(lenet_model, bounds, "ranger")
+        fi_plain = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        fi_protected = FaultInjection(protected, input_shape=(3, 32, 32))
+        assert fi_plain.num_layers == fi_protected.num_layers
+        for info_a, info_b in zip(fi_plain.layers, fi_protected.layers):
+            assert info_a.layer_type == info_b.layer_type
+            assert info_a.weight_shape == info_b.weight_shape
+
+    def test_ranger_suppresses_exponent_weight_fault(self, lenet_model, small_images):
+        """A bit-30 weight flip produces a huge activation; Ranger contains it."""
+        bounds = collect_activation_bounds(lenet_model, [small_images])
+        protected = apply_protection(lenet_model, bounds, "ranger")
+        fault = WeightFault(layer=0, out_channel=0, in_channel=0, depth=-1, height=2, width=2, value=30)
+
+        fi_plain = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        corrupted_plain = fi_plain.declare_weight_fault_injection([fault])
+        fi_protected = FaultInjection(protected, input_shape=(3, 32, 32))
+        corrupted_protected = fi_protected.declare_weight_fault_injection([fault])
+
+        golden = lenet_model(small_images)
+        plain_out = corrupted_plain(small_images)
+        protected_out = corrupted_protected(small_images)
+
+        plain_error = np.abs(plain_out - golden).max()
+        protected_error = np.abs(protected_out - golden).max()
+        assert protected_error < plain_error
+        assert np.isfinite(protected_out).all()
+
+    def test_protected_layer_wrapper_forward(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        wrapper = ProtectedLayer(layer, Ranger(-0.5, 0.5))
+        out = wrapper(np.ones((1, 2), dtype=np.float32) * 100)
+        assert np.abs(out).max() <= 0.5

@@ -1,0 +1,124 @@
+"""Unit tests for the result persistence layer (meta / fault / output files)."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+import yaml
+
+from repro.alficore import CampaignResultWriter, FaultMatrix, default_scenario, load_fault_file
+from repro.alficore.results import ClassificationRecord, DetectionRecord
+
+
+@pytest.fixture
+def writer(tmp_path):
+    return CampaignResultWriter(tmp_path, campaign_name="unit")
+
+
+@pytest.fixture
+def sample_classification_records():
+    return [
+        ClassificationRecord(
+            image_id=i,
+            file_name=f"img_{i}.png",
+            ground_truth=i % 3,
+            top5_classes=[0, 1, 2, 3, 4],
+            top5_probabilities=[0.5, 0.2, 0.15, 0.1, 0.05],
+            fault_positions=[{"layer": 1, "bit_position": 30}],
+            nan_detected=(i == 2),
+        )
+        for i in range(3)
+    ]
+
+
+class TestMetaFiles:
+    def test_meta_yaml_round_trips(self, writer):
+        scenario = default_scenario(dataset_size=5, model_name="vgg16")
+        path = writer.write_meta(scenario, extra={"note": "unit-test", "count": np.int64(3)})
+        with open(path) as handle:
+            document = yaml.safe_load(handle)
+        assert document["scenario"]["dataset_size"] == 5
+        assert document["run_info"]["note"] == "unit-test"
+        assert document["run_info"]["count"] == 3
+        assert document["campaign_name"] == "unit"
+
+
+class TestFaultFiles:
+    def test_fault_matrix_written_and_reloadable(self, writer):
+        matrix = FaultMatrix(np.arange(14).reshape(7, 2).astype(float), "neurons", {"x": 1})
+        path = writer.write_fault_matrix(matrix)
+        assert load_fault_file(path) == matrix
+
+    def test_applied_faults_json(self, writer):
+        applied = [{"layer": 0, "original_value": np.float32(1.5), "bit_position": 30}]
+        path = writer.write_applied_faults(applied)
+        data = json.loads(path.read_text())
+        assert data[0]["original_value"] == pytest.approx(1.5)
+
+
+class TestClassificationCsv:
+    def test_csv_columns(self, writer, sample_classification_records):
+        path = writer.write_classification_csv(sample_classification_records, tag="corrupted")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        expected_columns = {
+            "image_id",
+            "file_name",
+            "ground_truth",
+            "model_tag",
+            "nan_detected",
+            "inf_detected",
+            "fault_positions",
+        } | {f"top{i}_class" for i in range(1, 6)} | {f"top{i}_prob" for i in range(1, 6)}
+        assert expected_columns <= set(rows[0])
+
+    def test_fault_positions_embedded_as_json(self, writer, sample_classification_records):
+        writer.write_classification_csv(sample_classification_records)
+        rows = writer.read_classification_csv()
+        positions = json.loads(rows[0]["fault_positions"])
+        assert positions[0]["bit_position"] == 30
+
+    def test_empty_records_produce_empty_file(self, writer, tmp_path):
+        path = writer.write_classification_csv([], tag="golden")
+        assert path.exists()
+        assert path.read_text() == ""
+
+    def test_read_missing_tag_raises(self, writer):
+        with pytest.raises(FileNotFoundError):
+            writer.read_classification_csv(tag="nothing")
+
+
+class TestDetectionJson:
+    def test_detection_json_round_trip(self, writer):
+        records = [
+            DetectionRecord(
+                image_id=0,
+                file_name="img.png",
+                boxes=[[0.0, 0.0, 5.0, 5.0]],
+                scores=[0.9],
+                labels=[2],
+                nan_detected=False,
+            )
+        ]
+        writer.write_detection_json(records, tag="corrupted")
+        loaded = writer.read_detection_json(tag="corrupted")
+        assert loaded[0]["labels"] == [2]
+        assert loaded[0]["model_tag"] == "corrupted"
+
+    def test_ground_truth_json(self, writer):
+        targets = [{"image_id": 0, "boxes": np.zeros((1, 4)), "labels": np.array([1])}]
+        path = writer.write_ground_truth_json(targets)
+        data = json.loads(path.read_text())
+        assert data[0]["labels"] == [1]
+
+    def test_kpi_summary_json(self, writer):
+        path = writer.write_kpi_summary({"sde": np.float64(0.12), "nested": {"due": 0.01}})
+        data = json.loads(path.read_text())
+        assert data["sde"] == pytest.approx(0.12)
+        assert data["nested"]["due"] == pytest.approx(0.01)
+
+    def test_read_missing_detection_tag(self, writer):
+        with pytest.raises(FileNotFoundError):
+            writer.read_detection_json(tag="missing")

@@ -1,0 +1,133 @@
+"""Unit tests for the scenario configuration (default.yml schema)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.alficore import ScenarioConfig, default_scenario, load_scenario, save_scenario
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ScenarioConfig()
+        assert config.total_faults == 10
+
+    def test_total_faults_formula(self):
+        config = ScenarioConfig(dataset_size=7, num_runs=3, max_faults_per_image=2)
+        assert config.total_faults == 7 * 3 * 2
+        assert config.number_of_inferences == 21
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dataset_size", 0),
+            ("num_runs", -1),
+            ("max_faults_per_image", 0),
+            ("batch_size", 0),
+            ("injection_target", "activations"),
+            ("inj_policy", "per_pixel"),
+            ("fault_persistence", "flaky"),
+            ("rnd_value_type", "gamma_ray"),
+            ("quantization", "bfloat16"),
+            ("stuck_at_value", 2),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**{field: value})
+
+    def test_bit_range_must_fit_dtype(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(quantization="float16", rnd_bit_range=(0, 31))
+        ScenarioConfig(quantization="float16", rnd_bit_range=(0, 15))  # valid
+
+    def test_bit_range_ordering(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(rnd_bit_range=(20, 10))
+
+    def test_value_range_ordering(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(rnd_value_type="number", rnd_value_min=2.0, rnd_value_max=1.0)
+
+    def test_layer_types_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(layer_types=("conv2d", "attention"))
+        with pytest.raises(ValueError):
+            ScenarioConfig(layer_types=())
+
+    def test_layer_range_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(layer_range=(5, 2))
+        config = ScenarioConfig(layer_range=(0, 3))
+        assert config.layer_range == (0, 3)
+
+
+class TestConversion:
+    def test_as_dict_round_trip(self):
+        config = ScenarioConfig(
+            dataset_size=20,
+            injection_target="weights",
+            rnd_bit_range=(23, 30),
+            layer_range=(1, 4),
+            layer_types=("conv2d",),
+        )
+        rebuilt = ScenarioConfig.from_dict(config.as_dict())
+        assert rebuilt == config
+
+    def test_from_dict_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            ScenarioConfig.from_dict({"dataset_size": 5, "warp_drive": True})
+
+    def test_copy_with_overrides(self):
+        config = default_scenario()
+        modified = config.copy(dataset_size=99, injection_target="weights")
+        assert modified.dataset_size == 99
+        assert modified.injection_target == "weights"
+        assert config.dataset_size == 10  # original unchanged
+
+    def test_copy_revalidates(self):
+        config = default_scenario()
+        with pytest.raises(ValueError):
+            config.copy(dataset_size=-5)
+
+    def test_default_scenario_with_overrides(self):
+        config = default_scenario(num_runs=4)
+        assert config.num_runs == 4
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, tmp_path: Path):
+        config = ScenarioConfig(
+            dataset_size=15,
+            injection_target="weights",
+            rnd_bit_range=(23, 30),
+            model_name="vgg16",
+        )
+        path = save_scenario(config, tmp_path / "scenario.yml")
+        assert path.exists()
+        loaded = load_scenario(path)
+        assert loaded == config
+
+    def test_saved_file_is_commented_yaml(self, tmp_path: Path):
+        path = save_scenario(default_scenario(), tmp_path / "scenario.yml")
+        text = path.read_text()
+        assert text.startswith("#")
+        assert "dataset_size" in text
+
+    def test_load_missing_file(self, tmp_path: Path):
+        with pytest.raises(FileNotFoundError):
+            load_scenario(tmp_path / "missing.yml")
+
+    def test_load_non_mapping_file(self, tmp_path: Path):
+        path = tmp_path / "broken.yml"
+        path.write_text("- just\n- a\n- list\n")
+        with pytest.raises(ValueError):
+            load_scenario(path)
+
+    def test_repo_default_yml_is_loadable(self):
+        repo_default = Path(__file__).resolve().parents[1] / "scenarios" / "default.yml"
+        if not repo_default.exists():
+            pytest.skip("repository scenarios/default.yml not present")
+        config = load_scenario(repo_default)
+        assert config.rnd_value_type == "bitflip"
+        assert config.layer_types == ("conv2d", "conv3d", "fcc")

@@ -1,0 +1,132 @@
+"""Tests for the ``pytorchalfi`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_imgclass_defaults(self):
+        args = build_parser().parse_args(["run-imgclass"])
+        assert args.model == "lenet5"
+        assert args.target == "weights"
+        assert tuple(args.bit_range) == (23, 30)
+        assert args.inj_policy == "per_image"
+
+    def test_run_objdet_defaults(self):
+        args = build_parser().parse_args(["run-objdet"])
+        assert args.model == "yolov3"
+        assert args.num_classes == 5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-imgclass", "--model", "gpt5"])
+
+    def test_analyze_requires_campaign(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--output-dir", "x"])
+
+
+class TestImgClassCommand:
+    def test_end_to_end_run_and_analyze(self, tmp_path, capsys):
+        output_dir = tmp_path / "campaign"
+        exit_code = main(
+            [
+                "run-imgclass",
+                "--model",
+                "lenet5",
+                "--images",
+                "8",
+                "--num-faults",
+                "1",
+                "--target",
+                "weights",
+                "--bit-range",
+                "23",
+                "30",
+                "--output-dir",
+                str(output_dir),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "lenet5" in captured
+        assert "SDE" in captured
+        assert (output_dir / "lenet5_scenario.yml").exists()
+        assert (output_dir / "lenet5_corrupted_results.csv").exists()
+
+        json_out = tmp_path / "analysis.json"
+        exit_code = main(
+            [
+                "analyze",
+                "--output-dir",
+                str(output_dir),
+                "--campaign",
+                "lenet5",
+                "--kind",
+                "imgclass",
+                "--json-out",
+                str(json_out),
+            ]
+        )
+        assert exit_code == 0
+        analysis = json.loads(json_out.read_text())
+        assert analysis["num_inferences"] == 8
+        assert 0.0 <= analysis["sde_rate"] <= 1.0
+
+    def test_run_with_protection(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "run-imgclass",
+                "--model",
+                "mlp",
+                "--images",
+                "6",
+                "--protection",
+                "ranger",
+                "--output-dir",
+                str(tmp_path / "protected"),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "resil (ranger)" in captured
+
+
+class TestObjDetCommand:
+    def test_end_to_end_run(self, tmp_path, capsys):
+        output_dir = tmp_path / "det"
+        exit_code = main(
+            [
+                "run-objdet",
+                "--model",
+                "yolov3",
+                "--images",
+                "4",
+                "--output-dir",
+                str(output_dir),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "IVMOD_SDE" in captured
+        assert (output_dir / "yolov3_ground_truth.json").exists()
+
+        exit_code = main(
+            [
+                "analyze",
+                "--output-dir",
+                str(output_dir),
+                "--campaign",
+                "yolov3",
+                "--kind",
+                "objdet",
+            ]
+        )
+        assert exit_code == 0

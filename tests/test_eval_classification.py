@@ -1,0 +1,139 @@
+"""Unit tests for the classification KPIs (top-k, SDE/DUE rates)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    FaultOutcome,
+    classify_classification_outcome,
+    evaluate_classification_campaign,
+    outcome_rates,
+    sde_rate,
+    top_k_accuracy,
+    top_k_predictions,
+)
+
+
+class TestTopK:
+    def test_top_k_ordering(self):
+        logits = np.array([[0.1, 3.0, 2.0, -1.0]])
+        classes, probabilities = top_k_predictions(logits, k=3)
+        np.testing.assert_array_equal(classes[0], [1, 2, 0])
+        assert probabilities[0, 0] > probabilities[0, 1] > probabilities[0, 2]
+
+    def test_probabilities_sum_below_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 10))
+        _, probabilities = top_k_predictions(logits, k=10)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_k_clipped_to_classes(self):
+        classes, _ = top_k_predictions(np.zeros((2, 3)), k=10)
+        assert classes.shape == (2, 3)
+
+    def test_nan_logits_do_not_crash(self):
+        logits = np.array([[np.nan, 1.0, 0.5]])
+        classes, probabilities = top_k_predictions(logits, k=3)
+        assert classes.shape == (1, 3)
+        assert np.isfinite(probabilities[0, 0]) or probabilities[0, 0] == 0.0
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            top_k_predictions(np.zeros(5), k=1)
+
+    def test_top1_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 1.0]])
+        labels = [0, 1, 1]
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_top5_accuracy_all_hit(self):
+        logits = np.random.default_rng(0).normal(size=(10, 5))
+        labels = np.random.default_rng(1).integers(0, 5, size=10)
+        assert top_k_accuracy(logits, labels, k=5) == 1.0
+
+    def test_accuracy_empty(self):
+        assert top_k_accuracy(np.zeros((0, 3)), np.zeros(0), k=1) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), [1, 2, 3])
+
+
+class TestOutcomeTaxonomy:
+    def test_masked(self):
+        assert classify_classification_outcome(3, 3) is FaultOutcome.MASKED
+
+    def test_sde(self):
+        assert classify_classification_outcome(3, 4) is FaultOutcome.SDE
+
+    def test_due_takes_precedence(self):
+        assert classify_classification_outcome(3, 4, nan_or_inf=True) is FaultOutcome.DUE
+
+    def test_outcome_rates_sum_to_one(self):
+        outcomes = [FaultOutcome.MASKED] * 5 + [FaultOutcome.SDE] * 3 + [FaultOutcome.DUE] * 2
+        rates = outcome_rates(outcomes)
+        assert rates["masked"] + rates["sde"] + rates["due"] == pytest.approx(1.0)
+        assert rates["total"] == 10
+        assert rates["sde"] == pytest.approx(0.3)
+
+    def test_outcome_rates_empty(self):
+        rates = outcome_rates([])
+        assert rates["total"] == 0
+        assert rates["sde"] == 0.0
+
+
+class TestSdeRate:
+    def test_identical_outputs_are_masked(self):
+        logits = np.random.default_rng(0).normal(size=(8, 5))
+        rates = sde_rate(logits, logits.copy())
+        assert rates["masked"] == 1.0
+        assert rates["sde"] == 0.0
+
+    def test_flipped_top1_counts_as_sde(self):
+        golden = np.array([[5.0, 0.0], [5.0, 0.0]])
+        corrupted = np.array([[5.0, 0.0], [0.0, 5.0]])
+        rates = sde_rate(golden, corrupted)
+        assert rates["sde"] == pytest.approx(0.5)
+
+    def test_nan_output_counts_as_due(self):
+        golden = np.array([[5.0, 0.0]])
+        corrupted = np.array([[np.nan, 0.0]])
+        rates = sde_rate(golden, corrupted)
+        assert rates["due"] == 1.0
+        assert rates["sde"] == 0.0
+
+    def test_external_due_flags_override(self):
+        golden = np.array([[5.0, 0.0]])
+        corrupted = np.array([[0.0, 5.0]])
+        rates = sde_rate(golden, corrupted, due_flags=np.array([True]))
+        assert rates["due"] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sde_rate(np.zeros((2, 3)), np.zeros((3, 3)))
+
+
+class TestCampaignEvaluation:
+    def test_full_campaign_summary(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, size=20)
+        golden = np.zeros((20, 5))
+        golden[np.arange(20), labels] = 10.0
+        corrupted = golden.copy()
+        corrupted[:4, :] = 0.0
+        corrupted[np.arange(4), (labels[:4] + 1) % 5] = 10.0  # 4 SDEs
+        corrupted[4, :] = np.nan  # 1 DUE
+        result = evaluate_classification_campaign(golden, corrupted, labels, model_name="demo")
+        assert result.model_name == "demo"
+        assert result.num_inferences == 20
+        assert result.golden_top1_accuracy == 1.0
+        assert result.sde_rate == pytest.approx(4 / 20)
+        assert result.due_rate == pytest.approx(1 / 20)
+        assert result.masked_rate == pytest.approx(15 / 20)
+        assert len(result.outcomes) == 20
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        golden = np.ones((3, 4))
+        result = evaluate_classification_campaign(golden, golden, [0, 1, 2])
+        json.dumps(result.as_dict())

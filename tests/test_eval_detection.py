@@ -1,0 +1,184 @@
+"""Unit tests for the detection KPIs (AP/mAP and IVMOD)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    average_precision,
+    coco_map,
+    evaluate_detection_campaign,
+    ivmod_metric,
+    match_detections,
+)
+
+
+def prediction(boxes, scores, labels):
+    return {
+        "boxes": np.asarray(boxes, dtype=np.float32).reshape(-1, 4),
+        "scores": np.asarray(scores, dtype=np.float32).reshape(-1),
+        "labels": np.asarray(labels, dtype=np.int64).reshape(-1),
+    }
+
+
+def target(boxes, labels):
+    return {
+        "boxes": np.asarray(boxes, dtype=np.float32).reshape(-1, 4),
+        "labels": np.asarray(labels, dtype=np.int64).reshape(-1),
+    }
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        tp, num_gt = match_detections([[0, 0, 10, 10]], [0.9], [[0, 0, 10, 10]])
+        assert tp.tolist() == [True]
+        assert num_gt == 1
+
+    def test_low_iou_not_matched(self):
+        tp, _ = match_detections([[0, 0, 10, 10]], [0.9], [[50, 50, 60, 60]])
+        assert tp.tolist() == [False]
+
+    def test_each_gt_matched_once(self):
+        tp, _ = match_detections(
+            [[0, 0, 10, 10], [0, 0, 10, 10]], [0.9, 0.8], [[0, 0, 10, 10]]
+        )
+        assert tp.tolist() == [True, False]
+
+    def test_highest_score_matched_first(self):
+        tp, _ = match_detections(
+            [[0, 0, 10, 10], [1, 1, 11, 11]], [0.5, 0.9], [[0, 0, 10, 10]]
+        )
+        # Predictions are ordered by score: the 0.9 one (index 1) matches first.
+        assert tp.tolist() == [True, False]
+
+    def test_empty_predictions(self):
+        tp, num_gt = match_detections(np.zeros((0, 4)), np.zeros(0), [[0, 0, 5, 5]])
+        assert len(tp) == 0 and num_gt == 1
+
+
+class TestAveragePrecision:
+    def test_perfect_detector(self):
+        assert average_precision(np.array([True, True]), 2) == pytest.approx(1.0)
+
+    def test_no_detections(self):
+        assert average_precision(np.zeros(0, dtype=bool), 3) == 0.0
+
+    def test_no_ground_truth(self):
+        assert average_precision(np.array([True]), 0) == 0.0
+
+    def test_half_recall(self):
+        ap = average_precision(np.array([True]), 2)
+        assert ap == pytest.approx(0.5)
+
+    def test_false_positive_before_true_positive_lowers_ap(self):
+        good = average_precision(np.array([True, False]), 1)
+        bad = average_precision(np.array([False, True]), 1)
+        assert good > bad
+
+
+class TestCocoMap:
+    def test_perfect_predictions(self):
+        targets = [target([[0, 0, 10, 10]], [0]), target([[5, 5, 20, 20]], [1])]
+        predictions = [
+            prediction([[0, 0, 10, 10]], [0.9], [0]),
+            prediction([[5, 5, 20, 20]], [0.8], [1]),
+        ]
+        result = coco_map(predictions, targets, num_classes=2)
+        assert result["mAP"] == pytest.approx(1.0)
+        assert result["AR"] == pytest.approx(1.0)
+        assert result["AP50"] == pytest.approx(1.0)
+
+    def test_missing_all_objects(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        predictions = [prediction(np.zeros((0, 4)), [], [])]
+        result = coco_map(predictions, targets, num_classes=1)
+        assert result["mAP"] == 0.0
+
+    def test_wrong_class_counts_as_miss(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        predictions = [prediction([[0, 0, 10, 10]], [0.9], [1])]
+        assert coco_map(predictions, targets, num_classes=2)["mAP"] == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            coco_map([], [target([[0, 0, 1, 1]], [0])], 1)
+
+    def test_multiple_iou_thresholds(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        predictions = [prediction([[0, 0, 9, 10]], [0.9], [0])]  # IoU = 0.9
+        result = coco_map(predictions, targets, 1, iou_thresholds=(0.5, 0.95))
+        assert result["mAP"] == pytest.approx(0.5)  # hit at 0.5, miss at 0.95
+
+
+class TestIvmod:
+    def test_identical_runs_no_corruption(self):
+        targets = [target([[0, 0, 10, 10]], [0])] * 3
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])] * 3
+        result = ivmod_metric(golden, golden, targets)
+        assert result.sde_rate == 0.0
+        assert result.due_rate == 0.0
+
+    def test_lost_true_positive_counts(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])]
+        corrupted = [prediction(np.zeros((0, 4)), [], [])]
+        result = ivmod_metric(golden, corrupted, targets)
+        assert result.sde_rate == 1.0
+        assert result.tp_lost_images == 1
+        assert result.fp_added_images == 0
+
+    def test_added_false_positive_counts(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])]
+        corrupted = [prediction([[0, 0, 10, 10], [40, 40, 60, 60]], [0.9, 0.8], [0, 0])]
+        result = ivmod_metric(golden, corrupted, targets)
+        assert result.sde_rate == 1.0
+        assert result.fp_added_images == 1
+
+    def test_nan_output_counts_as_due_not_sde(self):
+        targets = [target([[0, 0, 10, 10]], [0])]
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])]
+        corrupted = [prediction([[0, 0, np.nan, 10]], [0.9], [0])]
+        result = ivmod_metric(golden, corrupted, targets)
+        assert result.due_rate == 1.0
+        assert result.sde_rate == 0.0
+
+    def test_external_due_flags(self):
+        targets = [target([[0, 0, 10, 10]], [0])] * 2
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])] * 2
+        result = ivmod_metric(golden, golden, targets, due_flags=[True, False])
+        assert result.due_rate == 0.5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ivmod_metric([], [prediction([[0, 0, 1, 1]], [0.5], [0])], [])
+
+    def test_empty_campaign(self):
+        result = ivmod_metric([], [], [])
+        assert result.sde_rate == 0.0 and result.total_images == 0
+
+
+class TestCampaignEvaluation:
+    def test_campaign_summary(self):
+        targets = [target([[0, 0, 10, 10]], [0]), target([[20, 20, 40, 40]], [1])]
+        golden = [
+            prediction([[0, 0, 10, 10]], [0.9], [0]),
+            prediction([[20, 20, 40, 40]], [0.9], [1]),
+        ]
+        corrupted = [
+            prediction([[0, 0, 10, 10]], [0.9], [0]),
+            prediction(np.zeros((0, 4)), [], []),
+        ]
+        result = evaluate_detection_campaign(golden, corrupted, targets, num_classes=2, model_name="det")
+        assert result.model_name == "det"
+        assert result.num_images == 2
+        assert result.golden_map["mAP"] == pytest.approx(1.0)
+        assert result.corrupted_map["mAP"] < 1.0
+        assert result.ivmod.sde_rate == pytest.approx(0.5)
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        targets = [target([[0, 0, 10, 10]], [0])]
+        golden = [prediction([[0, 0, 10, 10]], [0.9], [0])]
+        result = evaluate_detection_campaign(golden, golden, targets, num_classes=1)
+        json.dumps(result.as_dict())

@@ -1,0 +1,56 @@
+"""Smoke tests that run the example scripts end to end.
+
+The examples are part of the public deliverable; these tests execute them in
+a temporary working directory (so their output folders do not pollute the
+repository) and check that they print the expected campaign summaries.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(script_name: str, tmp_path, monkeypatch, capsys) -> str:
+    """Execute an example script as __main__ from a temporary cwd."""
+    monkeypatch.chdir(tmp_path)
+    script = EXAMPLES_DIR / script_name
+    assert script.exists(), f"example script missing: {script}"
+    # Examples import from the installed package; sys.argv must look clean.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch, capsys):
+        output = run_example("quickstart.py", tmp_path, monkeypatch, capsys)
+        assert "injectable layers" in output
+        assert "Quickstart campaign" in output
+        assert "applied faults" in output
+
+    def test_layer_sweep(self, tmp_path, monkeypatch, capsys):
+        output = run_example("layer_sweep.py", tmp_path, monkeypatch, capsys)
+        assert "SDE+DUE per injected layer" in output
+        assert "SDE+DUE per flipped bit position" in output
+
+    @pytest.mark.slow
+    def test_classification_campaign(self, tmp_path, monkeypatch, capsys):
+        output = run_example("classification_campaign.py", tmp_path, monkeypatch, capsys)
+        assert "result files" in output
+        assert (tmp_path / "examples_output" / "classification").exists()
+
+    @pytest.mark.slow
+    def test_object_detection_campaign(self, tmp_path, monkeypatch, capsys):
+        output = run_example("object_detection_campaign.py", tmp_path, monkeypatch, capsys)
+        assert "IVMOD_SDE" in output
+        assert (tmp_path / "examples_output" / "detection").exists()
+
+    @pytest.mark.slow
+    def test_fault_reuse_and_mitigation(self, tmp_path, monkeypatch, capsys):
+        output = run_example("fault_reuse_and_mitigation.py", tmp_path, monkeypatch, capsys)
+        assert "stored fault file" in output
+        assert "three model variants" in output

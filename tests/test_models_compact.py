@@ -1,0 +1,115 @@
+"""Unit tests for grouped convolutions and the compact architectures."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.alficore import default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.models import build_model, mobilenet_lite, squeezenet_lite
+from repro.models.pretrained import fit_classifier_head
+from repro.pytorchfi import FaultInjection
+
+
+class TestGroupedConv:
+    def test_groups_one_matches_default(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 4, 8, 8)).astype(np.float32)
+        weight = rng.normal(size=(6, 4, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            F.conv2d(x, weight, groups=1), F.conv2d(x, weight), rtol=1e-6
+        )
+
+    def test_grouped_equals_blockwise_dense(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 4, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(8, 2, 3, 3)).astype(np.float32)  # 2 groups of 2 channels
+        grouped = F.conv2d(x, weight, groups=2, padding=1)
+        first = F.conv2d(x[:, :2], weight[:4], padding=1)
+        second = F.conv2d(x[:, 2:], weight[4:], padding=1)
+        np.testing.assert_allclose(grouped, np.concatenate([first, second], axis=1), rtol=1e-5)
+
+    def test_depthwise_convolution(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 3, 5, 5)).astype(np.float32)
+        weight = rng.normal(size=(3, 1, 3, 3)).astype(np.float32)
+        depthwise = F.conv2d(x, weight, groups=3, padding=1)
+        for channel in range(3):
+            expected = F.conv2d(x[:, channel : channel + 1], weight[channel : channel + 1], padding=1)
+            np.testing.assert_allclose(depthwise[:, channel : channel + 1], expected, rtol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 4, 5, 5)), np.zeros((4, 4, 3, 3)), groups=2)
+
+    def test_output_channels_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 4, 5, 5)), np.zeros((5, 2, 3, 3)), groups=2)
+
+    def test_conv2d_layer_with_groups(self):
+        layer = nn.Conv2d(8, 8, 3, padding=1, groups=8, rng=np.random.default_rng(0))
+        assert layer.weight.shape == (8, 1, 3, 3)
+        out = layer(np.zeros((1, 8, 6, 6), dtype=np.float32))
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_conv2d_layer_invalid_groups(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(6, 8, 3, groups=4)
+
+
+class TestCompactModels:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return np.random.default_rng(3).normal(size=(2, 3, 32, 32)).astype(np.float32)
+
+    def test_mobilenet_forward(self, batch):
+        model = mobilenet_lite(num_classes=7).eval()
+        out = model(batch)
+        assert out.shape == (2, 7)
+        assert np.isfinite(out).all()
+
+    def test_squeezenet_forward(self, batch):
+        model = squeezenet_lite(num_classes=7).eval()
+        out = model(batch)
+        assert out.shape == (2, 7)
+        assert np.isfinite(out).all()
+
+    def test_registry_entries(self, batch):
+        for name in ("mobilenet", "squeezenet"):
+            model = build_model(name, num_classes=5).eval()
+            assert model(batch).shape == (2, 5)
+
+    def test_mobilenet_uses_depthwise_convs(self):
+        model = mobilenet_lite()
+        grouped = [
+            module
+            for _, module in model.named_modules()
+            if isinstance(module, nn.Conv2d) and module.groups > 1
+        ]
+        assert len(grouped) >= 6
+
+    def test_squeezenet_has_no_linear_layers(self):
+        model = squeezenet_lite()
+        assert not any(isinstance(module, nn.Linear) for _, module in model.named_modules())
+
+    def test_compact_models_are_injectable(self, batch):
+        for factory in (mobilenet_lite, squeezenet_lite):
+            model = factory(num_classes=10).eval()
+            fi = FaultInjection(model, input_shape=(3, 32, 32))
+            assert fi.num_layers >= 8
+            assert all(info.output_shape is not None for info in fi.layers)
+
+    def test_mobilenet_fault_campaign(self, batch):
+        model = mobilenet_lite(num_classes=10).eval()
+        scenario = default_scenario(dataset_size=3, injection_target="weights", random_seed=4)
+        wrapper = ptfiwrap(model, scenario=scenario)
+        corrupted = next(wrapper.get_fimodel_iter())
+        assert corrupted(batch).shape == (2, 10)
+        assert len(wrapper.applied_faults) == 1
+
+    def test_squeezenet_head_can_be_fitted_via_conv(self):
+        """SqueezeNet has no Linear head, so analytic fitting must fail cleanly."""
+        dataset = SyntheticClassificationDataset(num_samples=6, num_classes=10, seed=2)
+        with pytest.raises(ValueError):
+            fit_classifier_head(squeezenet_lite(num_classes=10), dataset, 10)

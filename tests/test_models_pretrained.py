@@ -1,0 +1,74 @@
+"""Unit tests for the analytic classifier-head fitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticClassificationDataset
+from repro.eval import top_k_accuracy
+from repro.models import lenet5, mlp
+from repro.models.pretrained import (
+    extract_penultimate_features,
+    fit_classifier_head,
+    pretrained_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticClassificationDataset(num_samples=60, num_classes=10, noise=0.25, seed=3)
+
+
+class TestFeatureExtraction:
+    def test_feature_shape_matches_final_layer_input(self, dataset):
+        model = lenet5().eval()
+        images = np.stack([dataset[i][0] for i in range(4)])
+        features = extract_penultimate_features(model, images)
+        assert features.shape == (4, 84)  # LeNet's last hidden layer width
+
+    def test_model_without_linear_raises(self):
+        from repro import nn
+
+        conv_only = nn.Sequential(nn.Conv2d(3, 4, 3), nn.ReLU())
+        with pytest.raises(ValueError):
+            extract_penultimate_features(conv_only, np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+
+class TestFitClassifierHead:
+    def test_fitted_model_has_high_train_accuracy(self, dataset):
+        model = fit_classifier_head(lenet5(), dataset, 10, calibration_size=40)
+        images = np.stack([dataset[i][0] for i in range(40)])
+        labels = [dataset[i][1] for i in range(40)]
+        assert top_k_accuracy(model(images), labels, k=1) >= 0.9
+
+    def test_fitted_model_generalises_to_holdout(self, dataset):
+        model = fit_classifier_head(lenet5(), dataset, 10, calibration_size=40)
+        images = np.stack([dataset[i][0] for i in range(40, 60)])
+        labels = [dataset[i][1] for i in range(40, 60)]
+        assert top_k_accuracy(model(images), labels, k=1) >= 0.7
+
+    def test_fit_improves_over_random_head(self, dataset):
+        images = np.stack([dataset[i][0] for i in range(40, 60)])
+        labels = [dataset[i][1] for i in range(40, 60)]
+        random_model = lenet5().eval()
+        random_accuracy = top_k_accuracy(random_model(images), labels, k=1)
+        fitted = fit_classifier_head(lenet5(), dataset, 10, calibration_size=40)
+        fitted_accuracy = top_k_accuracy(fitted(images), labels, k=1)
+        assert fitted_accuracy > random_accuracy
+
+    def test_wrong_num_classes_raises(self, dataset):
+        with pytest.raises(ValueError):
+            fit_classifier_head(lenet5(num_classes=10), dataset, num_classes=3)
+
+    def test_empty_calibration_raises(self, dataset):
+        with pytest.raises(ValueError):
+            fit_classifier_head(lenet5(), dataset, 10, calibration_size=0)
+
+    def test_pretrained_classifier_factory(self, dataset):
+        model = pretrained_classifier(mlp, dataset, num_classes=10, calibration_size=40)
+        images = np.stack([dataset[i][0] for i in range(40)])
+        labels = [dataset[i][1] for i in range(40)]
+        assert top_k_accuracy(model(images), labels, k=1) >= 0.9
+
+    def test_fit_sets_eval_mode(self, dataset):
+        model = fit_classifier_head(lenet5(), dataset, 10, calibration_size=10)
+        assert all(not module.training for module in model.modules())

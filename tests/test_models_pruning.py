@@ -1,0 +1,61 @@
+"""Unit tests for magnitude pruning and the pruned-vs-original use case."""
+
+import numpy as np
+import pytest
+
+from repro.alficore import default_scenario, ptfiwrap
+from repro.models import lenet5
+from repro.models.pruning import prunable_weight_count, prune_by_magnitude, sparsity
+from repro.pytorchfi import FaultInjection
+
+
+class TestPruneByMagnitude:
+    def test_target_sparsity_reached(self, lenet_model):
+        pruned = prune_by_magnitude(lenet_model, 0.5)
+        assert sparsity(pruned) == pytest.approx(0.5, abs=0.02)
+
+    def test_original_model_untouched(self, lenet_model):
+        before = sparsity(lenet_model)
+        prune_by_magnitude(lenet_model, 0.8)
+        assert sparsity(lenet_model) == before
+
+    def test_zero_amount_is_identity(self, lenet_model, small_images):
+        pruned = prune_by_magnitude(lenet_model, 0.0)
+        np.testing.assert_allclose(pruned(small_images), lenet_model(small_images))
+
+    def test_small_weights_removed_first(self, lenet_model):
+        pruned = prune_by_magnitude(lenet_model, 0.3)
+        for (_, original), (_, new) in zip(lenet_model.named_parameters(), pruned.named_parameters()):
+            if original.data.ndim < 2:
+                continue
+            zeroed = (new.data == 0.0) & (original.data != 0.0)
+            kept = new.data != 0.0
+            if zeroed.any() and kept.any():
+                assert np.abs(original.data[zeroed]).max() <= np.abs(new.data[kept]).min() + 1e-6
+
+    def test_invalid_amount(self, lenet_model):
+        with pytest.raises(ValueError):
+            prune_by_magnitude(lenet_model, 1.0)
+        with pytest.raises(ValueError):
+            prune_by_magnitude(lenet_model, -0.1)
+
+    def test_prunable_weight_count(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        assert prunable_weight_count(lenet_model) == sum(fi.layer_weight_counts())
+
+    def test_layer_structure_preserved_for_fault_replay(self, lenet_model):
+        """The same fault matrix must address both the original and pruned model."""
+        pruned = prune_by_magnitude(lenet_model, 0.6)
+        original_fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        pruned_fi = FaultInjection(pruned, input_shape=(3, 32, 32))
+        assert original_fi.num_layers == pruned_fi.num_layers
+        assert original_fi.layer_weight_counts() == pruned_fi.layer_weight_counts()
+
+    def test_fault_campaign_on_pruned_model(self, lenet_model, small_images):
+        pruned = prune_by_magnitude(lenet_model, 0.5)
+        scenario = default_scenario(dataset_size=4, injection_target="weights", random_seed=3)
+        original_wrapper = ptfiwrap(lenet_model, scenario=scenario)
+        pruned_wrapper = ptfiwrap(pruned, scenario=scenario)
+        pruned_wrapper.set_fault_matrix(original_wrapper.get_fault_matrix())
+        corrupted = pruned_wrapper.corrupted_model_for_group(0)
+        assert corrupted(small_images).shape == (2, 10)

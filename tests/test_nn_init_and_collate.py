@@ -1,0 +1,73 @@
+"""Unit tests for the weight initialisers and the default batch collation."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import default_collate
+from repro.nn import init
+
+
+class TestInitialisers:
+    def test_kaiming_uniform_bounds(self):
+        rng = init.make_rng(0)
+        fan_in = 64
+        values = init.kaiming_uniform((1000,), fan_in, rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / fan_in)
+        assert values.dtype == np.float32
+        assert np.abs(values).max() <= bound + 1e-6
+        assert values.std() > 0
+
+    def test_kaiming_invalid_fan_in(self):
+        with pytest.raises(ValueError):
+            init.kaiming_uniform((4,), 0, init.make_rng(0))
+
+    def test_xavier_uniform_bounds(self):
+        rng = init.make_rng(1)
+        values = init.xavier_uniform((500,), 30, 70, rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(values).max() <= bound + 1e-6
+
+    def test_xavier_invalid_fans(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((4,), 0, 4, init.make_rng(0))
+
+    def test_uniform_bias_bounds(self):
+        values = init.uniform_bias((200,), 25, init.make_rng(2))
+        assert np.abs(values).max() <= 1.0 / 5.0 + 1e-6
+
+    def test_uniform_bias_zero_fan_in(self):
+        np.testing.assert_array_equal(init.uniform_bias((3,), 0, init.make_rng(0)), 0.0)
+
+    def test_zeros_and_ones(self):
+        np.testing.assert_array_equal(init.zeros((2, 2)), 0.0)
+        np.testing.assert_array_equal(init.ones((2, 2)), 1.0)
+
+    def test_same_seed_reproducible(self):
+        a = init.kaiming_uniform((10,), 4, init.make_rng(5))
+        b = init.kaiming_uniform((10,), 4, init.make_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDefaultCollate:
+    def test_stacks_arrays(self):
+        batch = [np.ones((2, 2)), np.zeros((2, 2))]
+        out = default_collate(batch)
+        assert out.shape == (2, 2, 2)
+
+    def test_collates_tuples_elementwise(self):
+        batch = [(np.ones(3), 1), (np.zeros(3), 2)]
+        images, labels = default_collate(batch)
+        assert images.shape == (2, 3)
+        np.testing.assert_array_equal(labels, [1, 2])
+
+    def test_collates_dicts_keywise(self):
+        batch = [{"x": 1.0, "y": np.ones(2)}, {"x": 2.0, "y": np.zeros(2)}]
+        out = default_collate(batch)
+        np.testing.assert_array_equal(out["x"], [1.0, 2.0])
+        assert out["y"].shape == (2, 2)
+
+    def test_scalars_become_arrays(self):
+        np.testing.assert_array_equal(default_collate([1, 2, 3]), [1, 2, 3])
+
+    def test_other_types_returned_as_list(self):
+        assert default_collate(["a", "b"]) == ["a", "b"]

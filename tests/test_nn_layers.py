@@ -1,0 +1,138 @@
+"""Unit tests for the layer modules and containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestConvLayers:
+    def test_conv2d_shapes_and_params(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer.weight.shape == (8, 3, 3, 3)
+        assert layer.bias.shape == (8,)
+        out = layer(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv2d_no_bias(self):
+        layer = nn.Conv2d(1, 1, 3, bias=False)
+        assert layer.bias is None
+        assert [name for name, _ in layer.named_parameters()] == ["weight"]
+
+    def test_conv2d_deterministic_with_same_rng_seed(self):
+        a = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        b = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_conv2d_invalid_channels(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 4, 3)
+
+    def test_conv3d_forward(self):
+        layer = nn.Conv3d(2, 4, (1, 3, 3), padding=(0, 1, 1))
+        out = layer(np.zeros((1, 2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 4, 3, 8, 8)
+
+    def test_linear_forward(self):
+        layer = nn.Linear(6, 4)
+        out = layer(np.ones((3, 6), dtype=np.float32))
+        assert out.shape == (3, 4)
+
+    def test_linear_invalid_features(self):
+        with pytest.raises(ValueError):
+            nn.Linear(5, 0)
+
+
+class TestSimpleLayers:
+    def test_batchnorm_default_is_identity_like(self):
+        bn = nn.BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(bn(x), x, rtol=1e-3, atol=1e-3)
+
+    def test_relu_layer(self):
+        assert nn.ReLU()(np.array([-2.0, 3.0])).min() == 0.0
+
+    def test_leaky_relu_layer(self):
+        out = nn.LeakyReLU(0.2)(np.array([-1.0], dtype=np.float32))
+        np.testing.assert_allclose(out, [-0.2])
+
+    def test_softmax_layer(self):
+        out = nn.Softmax(axis=1)(np.zeros((2, 4), dtype=np.float32))
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_maxpool_layer(self):
+        out = nn.MaxPool2d(2)(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_adaptive_pool_layer(self):
+        out = nn.AdaptiveAvgPool2d(2)(np.zeros((1, 3, 9, 9), dtype=np.float32))
+        assert out.shape == (1, 3, 2, 2)
+
+    def test_upsample_layer(self):
+        out = nn.Upsample(3)(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        assert out.shape == (1, 2, 12, 12)
+
+    def test_flatten_layer(self):
+        out = nn.Flatten()(np.zeros((2, 3, 4, 4)))
+        assert out.shape == (2, 48)
+
+    def test_identity_layer(self):
+        x = np.arange(5)
+        assert nn.Identity()(x) is x
+
+    def test_dropout_eval_is_identity(self):
+        dropout = nn.Dropout(0.9)
+        dropout.eval()
+        x = np.ones((4, 4), dtype=np.float32)
+        np.testing.assert_array_equal(dropout(x), x)
+
+    def test_dropout_train_zeroes_values(self):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        dropout.train()
+        out = dropout(np.ones((100, 100), dtype=np.float32))
+        assert (out == 0).mean() > 0.3
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_sigmoid_tanh_layers(self):
+        x = np.array([0.0], dtype=np.float32)
+        np.testing.assert_allclose(nn.Sigmoid()(x), [0.5])
+        np.testing.assert_allclose(nn.Tanh()(x), [0.0])
+
+
+class TestContainers:
+    def test_sequential_forward(self):
+        seq = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(0)), nn.ReLU(), nn.Linear(8, 2, rng=np.random.default_rng(1)))
+        out = seq(np.zeros((3, 4), dtype=np.float32))
+        assert out.shape == (3, 2)
+
+    def test_sequential_indexing_and_len(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert isinstance(seq[-1], nn.Flatten)
+
+    def test_sequential_append(self):
+        seq = nn.Sequential(nn.ReLU())
+        seq.append(nn.Flatten())
+        assert len(seq) == 2
+
+    def test_sequential_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            nn.Sequential(nn.ReLU(), "not a module")
+
+    def test_module_list_registration(self):
+        heads = nn.ModuleList([nn.Linear(4, 2), nn.Linear(4, 2)])
+        assert len(heads) == 2
+        assert len(list(heads.parameters())) == 4
+
+    def test_module_list_iteration(self):
+        heads = nn.ModuleList([nn.ReLU(), nn.Flatten()])
+        types = [type(m) for m in heads]
+        assert types == [nn.ReLU, nn.Flatten]
+
+    def test_module_list_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            nn.ModuleList([42])

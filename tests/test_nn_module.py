@@ -1,0 +1,197 @@
+"""Unit tests for the Module base class: registration, hooks, traversal."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class TwoLayer(Module):
+    """Minimal two-layer test network."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = nn.Linear(4, 8, rng=rng)
+        self.act = nn.ReLU()
+        self.fc2 = nn.Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_submodules_registered_via_setattr(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_children()]
+        assert names == ["fc1", "act", "fc2"]
+
+    def test_parameters_recursive(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(3)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_getattr_returns_parameter(self):
+        layer = nn.Linear(3, 2)
+        assert isinstance(layer.weight, Parameter)
+        assert layer.weight.shape == (2, 3)
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            _ = TwoLayer().does_not_exist
+
+
+class TestTraversal:
+    def test_named_modules_includes_root(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert names[0] == ""
+        assert "fc1" in names and "fc2" in names
+
+    def test_get_submodule(self):
+        model = TwoLayer()
+        assert model.get_submodule("fc1") is model._modules["fc1"]
+        assert model.get_submodule("") is model
+
+    def test_get_submodule_nested(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
+        inner = seq.get_submodule("1.0")
+        assert isinstance(inner, nn.Linear)
+
+    def test_get_submodule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TwoLayer().get_submodule("nope")
+
+
+class TestForwardHooks:
+    def test_hook_sees_output(self):
+        model = TwoLayer()
+        captured = {}
+
+        def hook(module, inputs, output):
+            captured["shape"] = output.shape
+            return None
+
+        model.fc1.register_forward_hook(hook)
+        model(np.zeros((3, 4), dtype=np.float32))
+        assert captured["shape"] == (3, 8)
+
+    def test_hook_can_replace_output(self):
+        model = TwoLayer()
+
+        def hook(module, inputs, output):
+            return np.zeros_like(output)
+
+        model.fc1.register_forward_hook(hook)
+        out = model(np.ones((1, 4), dtype=np.float32))
+        # fc2(relu(0)) == fc2 bias only
+        expected = model.fc2(np.zeros((1, 8), dtype=np.float32))
+        np.testing.assert_allclose(out, expected)
+
+    def test_hook_in_place_modification(self):
+        model = TwoLayer()
+
+        def hook(module, inputs, output):
+            output[...] = 1.0
+            return None
+
+        model.fc1.register_forward_hook(hook)
+        out = model(np.zeros((1, 4), dtype=np.float32))
+        expected = model.fc2(np.ones((1, 8), dtype=np.float32))
+        np.testing.assert_allclose(out, expected)
+
+    def test_hook_removal(self):
+        model = TwoLayer()
+        calls = []
+        handle = model.fc1.register_forward_hook(lambda m, i, o: calls.append(1))
+        model(np.zeros((1, 4), dtype=np.float32))
+        handle.remove()
+        model(np.zeros((1, 4), dtype=np.float32))
+        assert len(calls) == 1
+
+    def test_hook_removal_idempotent(self):
+        model = TwoLayer()
+        handle = model.fc1.register_forward_hook(lambda m, i, o: None)
+        handle.remove()
+        handle.remove()  # must not raise
+
+    def test_pre_hook_modifies_input(self):
+        model = TwoLayer()
+
+        def pre_hook(module, inputs):
+            return (inputs[0] * 0.0,)
+
+        model.fc1.register_forward_pre_hook(pre_hook)
+        out = model(np.ones((1, 4), dtype=np.float32))
+        expected = TwoLayer()(np.zeros((1, 4), dtype=np.float32))
+        np.testing.assert_allclose(out, expected)
+
+    def test_multiple_hooks_run_in_order(self):
+        model = TwoLayer()
+        order = []
+        model.fc1.register_forward_hook(lambda m, i, o: order.append("first"))
+        model.fc1.register_forward_hook(lambda m, i, o: order.append("second"))
+        model(np.zeros((1, 4), dtype=np.float32))
+        assert order == ["first", "second"]
+
+
+class TestStateAndClone:
+    def test_state_dict_round_trip(self):
+        source = TwoLayer()
+        target = TwoLayer()
+        target.load_state_dict(source.state_dict())
+        x = np.random.default_rng(1).normal(size=(2, 4)).astype(np.float32)
+        np.testing.assert_allclose(source(x), target(x))
+
+    def test_state_dict_returns_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.allclose(model.fc1.weight.data, 99.0)
+
+    def test_load_state_dict_unknown_key_raises(self):
+        model = TwoLayer()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"unknown.weight": np.zeros((1,))})
+
+    def test_clone_is_independent(self):
+        model = TwoLayer()
+        clone = model.clone()
+        clone.fc1.weight.data[...] = 0.0
+        assert not np.allclose(model.fc1.weight.data, 0.0)
+
+    def test_clone_drops_hooks(self):
+        model = TwoLayer()
+        calls = []
+        model.fc1.register_forward_hook(lambda m, i, o: calls.append(1))
+        clone = model.clone()
+        clone(np.zeros((1, 4), dtype=np.float32))
+        assert calls == []
+
+    def test_clone_preserves_outputs(self):
+        model = TwoLayer()
+        clone = model.clone()
+        x = np.random.default_rng(2).normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(model(x), clone(x))
+
+    def test_train_eval_mode_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_parameter_copy_shape_mismatch(self):
+        layer = nn.Linear(3, 2)
+        with pytest.raises(ValueError):
+            layer.weight.copy_(np.zeros((5, 5)))

@@ -1,0 +1,75 @@
+"""Tests for the permanent (stuck-at) fault model path."""
+
+import numpy as np
+import pytest
+
+from repro.alficore import default_scenario, ptfiwrap
+from repro.alficore.wrapper import _error_model_from_scenario
+from repro.pytorchfi.errormodels import BitFlipErrorModel, StuckAtErrorModel
+from repro.tensor import get_bit
+
+
+class TestErrorModelSelection:
+    def test_transient_bitflip_scenario(self):
+        scenario = default_scenario(fault_persistence="transient", rnd_value_type="bitflip")
+        assert isinstance(_error_model_from_scenario(scenario), BitFlipErrorModel)
+
+    def test_permanent_bitflip_scenario_becomes_stuck_at(self):
+        scenario = default_scenario(fault_persistence="permanent", rnd_value_type="bitflip")
+        model = _error_model_from_scenario(scenario)
+        assert isinstance(model, StuckAtErrorModel)
+
+    def test_explicit_stuck_at_scenario(self):
+        scenario = default_scenario(rnd_value_type="stuck_at", stuck_at_value=0)
+        model = _error_model_from_scenario(scenario)
+        assert isinstance(model, StuckAtErrorModel)
+        assert model.stuck_value == 0
+
+
+class TestPermanentWeightFaults:
+    def test_stuck_at_one_forces_bit_in_corrupted_weight(self, lenet_model):
+        scenario = default_scenario(
+            dataset_size=5,
+            injection_target="weights",
+            fault_persistence="permanent",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(30, 30),
+            stuck_at_value=1,
+            random_seed=9,
+        )
+        wrapper = ptfiwrap(lenet_model, scenario=scenario)
+        corrupted = next(wrapper.get_fimodel_iter())
+        record = wrapper.applied_faults[0]
+        # The targeted bit of the corrupted value must read 1 (stuck-at-1).
+        assert int(get_bit(record.corrupted_value, record.bit_position)) == 1
+        assert record.bit_position == 30
+
+    def test_stuck_at_is_idempotent_across_repeated_application(self, lenet_model):
+        """A permanent fault applied twice gives the same corrupted value."""
+        scenario = default_scenario(
+            dataset_size=2,
+            injection_target="weights",
+            rnd_value_type="stuck_at",
+            rnd_bit_range=(28, 30),
+            stuck_at_value=1,
+            random_seed=10,
+        )
+        wrapper = ptfiwrap(lenet_model, scenario=scenario)
+        first = wrapper.corrupted_model_for_group(0)
+        second = wrapper.corrupted_model_for_group(0)
+        for (_, a), (_, b) in zip(first.named_parameters(), second.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_stuck_at_zero_never_increases_magnitude(self, lenet_model):
+        scenario = default_scenario(
+            dataset_size=10,
+            injection_target="weights",
+            rnd_value_type="stuck_at",
+            rnd_bit_range=(23, 30),
+            stuck_at_value=0,
+            random_seed=11,
+        )
+        wrapper = ptfiwrap(lenet_model, scenario=scenario)
+        list(wrapper.get_fimodel_iter())
+        for record in wrapper.applied_faults:
+            assert abs(record.corrupted_value) <= abs(record.original_value) + 1e-12

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core invariants of the framework."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alficore import FaultMatrixGenerator, default_scenario, layer_weight_factors
+from repro.eval import outcome_rates, sde_rate, top_k_predictions
+from repro.eval.sdc import FaultOutcome
+from repro.models.detection import box_iou, nms
+from repro.pytorchfi import FaultInjection
+from repro.pytorchfi.errormodels import BitFlipErrorModel
+from repro.tensor import bits_to_float, flip_bit, flip_bit_scalar, float_to_bits, get_bit
+
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=32, min_value=-(2.0**100), max_value=2.0**100
+)
+
+
+class TestBitopsProperties:
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=200)
+    def test_double_flip_is_identity(self, value, bit):
+        once = flip_bit(np.float32(value), bit)
+        twice = flip_bit(once, bit)
+        np.testing.assert_array_equal(np.float32(value), twice)
+
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=200)
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        original_bits = int(float_to_bits(np.float32(value)))
+        flipped_bits = int(float_to_bits(flip_bit(np.float32(value), bit)))
+        assert bin(original_bits ^ flipped_bits).count("1") == 1
+
+    @given(value=finite_floats)
+    @settings(max_examples=200)
+    def test_bits_round_trip(self, value):
+        restored = bits_to_float(float_to_bits(np.float32(value)))
+        np.testing.assert_array_equal(np.float32(value), restored)
+
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=100)
+    def test_flip_direction_consistent_with_original_bit(self, value, bit):
+        record = flip_bit_scalar(float(np.float32(value)), bit)
+        original_bit = int(get_bit(np.float32(value), bit))
+        expected = "0->1" if original_bit == 0 else "1->0"
+        assert record.flip_direction == expected
+
+    @given(value=finite_floats, bit=st.integers(23, 30))
+    @settings(max_examples=100)
+    def test_exponent_flip_changes_magnitude_or_zero(self, value, bit):
+        """Exponent bit flips never change the sign of a non-zero value."""
+        corrupted = float(flip_bit(np.float32(value), bit))
+        if value != 0 and np.isfinite(corrupted) and corrupted != 0:
+            assert np.sign(corrupted) == np.sign(value)
+
+
+class TestLayerWeightProperties:
+    @given(sizes=st.lists(st.integers(0, 10_000), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_factors_are_a_probability_distribution(self, sizes):
+        factors = layer_weight_factors(sizes)
+        assert np.all(factors >= 0)
+        np.testing.assert_allclose(factors.sum(), 1.0, rtol=1e-9)
+
+    @given(
+        sizes=st.lists(st.integers(1, 10_000), min_size=2, max_size=20),
+        scale=st.integers(2, 10),
+    )
+    @settings(max_examples=100)
+    def test_factors_scale_invariant(self, sizes, scale):
+        base = layer_weight_factors(sizes)
+        scaled = layer_weight_factors([s * scale for s in sizes])
+        np.testing.assert_allclose(base, scaled, rtol=1e-9)
+
+
+class TestIoUProperties:
+    boxes = st.lists(
+        st.tuples(
+            st.floats(0, 50, allow_nan=False),
+            st.floats(0, 50, allow_nan=False),
+            st.floats(0.1, 50, allow_nan=False),
+            st.floats(0.1, 50, allow_nan=False),
+        ).map(lambda t: [t[0], t[1], t[0] + t[2], t[1] + t[3]]),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(boxes_a=boxes, boxes_b=boxes)
+    @settings(max_examples=100)
+    def test_iou_bounded_and_symmetric(self, boxes_a, boxes_b):
+        a = np.asarray(boxes_a, dtype=np.float32)
+        b = np.asarray(boxes_b, dtype=np.float32)
+        iou = box_iou(a, b)
+        assert np.all(iou >= 0) and np.all(iou <= 1 + 1e-6)
+        np.testing.assert_allclose(iou, box_iou(b, a).T, rtol=1e-5, atol=1e-6)
+
+    @given(boxes_a=boxes)
+    @settings(max_examples=100)
+    def test_self_iou_diagonal_is_one(self, boxes_a):
+        a = np.asarray(boxes_a, dtype=np.float32)
+        iou = box_iou(a, a)
+        np.testing.assert_allclose(np.diag(iou), 1.0, rtol=1e-5)
+
+    @given(boxes_a=boxes, threshold=st.floats(0.1, 0.9))
+    @settings(max_examples=100)
+    def test_nms_kept_boxes_are_mutually_non_overlapping(self, boxes_a, threshold):
+        a = np.asarray(boxes_a, dtype=np.float32)
+        scores = np.linspace(1.0, 0.1, len(a)).astype(np.float32)
+        keep = nms(a, scores, threshold)
+        kept = a[keep]
+        iou = box_iou(kept, kept)
+        off_diagonal = iou - np.eye(len(kept))
+        assert np.all(off_diagonal <= threshold + 1e-5)
+
+    @given(boxes_a=boxes)
+    @settings(max_examples=50)
+    def test_nms_output_is_subset_of_input(self, boxes_a):
+        a = np.asarray(boxes_a, dtype=np.float32)
+        scores = np.random.default_rng(0).uniform(0, 1, len(a)).astype(np.float32)
+        keep = nms(a, scores, 0.5)
+        assert len(keep) <= len(a)
+        assert len(set(keep.tolist())) == len(keep)
+
+
+class TestEvalProperties:
+    @given(
+        logits=st.lists(
+            st.lists(st.floats(-100, 100, allow_nan=False, width=32), min_size=5, max_size=5),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_top_k_classes_are_valid_and_distinct(self, logits):
+        arr = np.asarray(logits, dtype=np.float32)
+        classes, probabilities = top_k_predictions(arr, k=5)
+        for row in classes:
+            assert len(set(row.tolist())) == 5
+            assert set(row.tolist()) <= set(range(5))
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1 + 1e-6)
+
+    @given(
+        outcomes=st.lists(
+            st.sampled_from([FaultOutcome.MASKED, FaultOutcome.SDE, FaultOutcome.DUE]),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100)
+    def test_outcome_rates_always_sum_to_one(self, outcomes):
+        rates = outcome_rates(outcomes)
+        assert rates["masked"] + rates["sde"] + rates["due"] == np.float64(1.0) or np.isclose(
+            rates["masked"] + rates["sde"] + rates["due"], 1.0
+        )
+
+    @given(
+        golden=st.lists(
+            st.lists(st.floats(-10, 10, allow_nan=False, width=32), min_size=3, max_size=3),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_identical_runs_have_zero_sde(self, golden):
+        arr = np.asarray(golden, dtype=np.float32)
+        rates = sde_rate(arr, arr.copy())
+        assert rates["sde"] == 0.0 and rates["due"] == 0.0
+
+
+class TestFaultMatrixProperties:
+    @given(
+        dataset_size=st.integers(1, 12),
+        num_runs=st.integers(1, 3),
+        faults_per_image=st.integers(1, 4),
+        target=st.sampled_from(["neurons", "weights"]),
+        bit_low=st.integers(0, 15),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_matrices_respect_scenario(
+        self, mlp_model_module, dataset_size, num_runs, faults_per_image, target, bit_low, seed
+    ):
+        scenario = default_scenario(
+            dataset_size=dataset_size,
+            num_runs=num_runs,
+            max_faults_per_image=faults_per_image,
+            injection_target=target,
+            rnd_bit_range=(bit_low, 31),
+            random_seed=seed,
+        )
+        matrix = FaultMatrixGenerator(mlp_model_module, scenario).generate()
+        assert matrix.num_faults == scenario.total_faults
+        layers = matrix.matrix[1 if target == "neurons" else 0, :]
+        assert layers.min() >= 0 and layers.max() < mlp_model_module.num_layers
+        values = matrix.matrix[6, :]
+        assert values.min() >= bit_low and values.max() <= 31
+
+    @given(bit=st.integers(0, 31), value=finite_floats)
+    @settings(max_examples=100)
+    def test_bitflip_error_model_replay_matches_direct_flip(self, bit, value):
+        model = BitFlipErrorModel(bit_position=bit)
+        corrupted, info = model.corrupt(float(np.float32(value)), np.random.default_rng(0))
+        direct = float(flip_bit(np.float32(value), bit))
+        assert corrupted == direct or (np.isnan(corrupted) and np.isnan(direct))
+
+
+# A module-scoped profiled injector for the hypothesis matrix test (profiling
+# an MLP takes ~1 ms but doing it inside @given would still dominate).
+import pytest  # noqa: E402  (kept close to the fixture it decorates)
+
+from repro.models import mlp  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def mlp_model_module():
+    return FaultInjection(mlp(num_classes=10, seed=0).eval(), input_shape=(3, 32, 32))

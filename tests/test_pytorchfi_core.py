@@ -1,0 +1,279 @@
+"""Unit tests for the FaultInjection core: profiling, neuron and weight faults."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.pytorchfi import FaultInjection, injectable_layer_types, verify_layer
+from repro.pytorchfi.core import NeuronFault, WeightFault, register_layer_type
+from repro.pytorchfi.errormodels import BitFlipErrorModel, RandomValueErrorModel
+
+
+class TestVerifyLayer:
+    def test_registry_contains_paper_layer_types(self):
+        assert {"conv2d", "conv3d", "fcc"} <= set(injectable_layer_types())
+
+    def test_verify_layer_matches(self):
+        assert verify_layer(nn.Conv2d(1, 1, 3), ["conv2d", "fcc"]) == "conv2d"
+        assert verify_layer(nn.Linear(2, 2), ["conv2d", "fcc"]) == "fcc"
+
+    def test_verify_layer_non_injectable(self):
+        assert verify_layer(nn.ReLU(), ["conv2d", "fcc"]) is None
+
+    def test_verify_layer_unknown_type_name(self):
+        with pytest.raises(KeyError):
+            verify_layer(nn.ReLU(), ["transformer"])
+
+    def test_register_custom_layer_type(self):
+        class CustomLayer(nn.Linear):
+            pass
+
+        register_layer_type("custom", CustomLayer)
+        try:
+            assert verify_layer(CustomLayer(2, 2), ["custom"]) == "custom"
+        finally:
+            injectable_layer_types()  # registry copy untouched
+            from repro.pytorchfi import core
+
+            core._INJECTABLE_LAYER_TYPES.pop("custom", None)
+
+    def test_register_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            register_layer_type("bad", int)
+
+
+class TestProfiling:
+    def test_layer_enumeration(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        assert fi.num_layers == 2
+        assert fi.layers[0].layer_type == "conv2d"
+        assert fi.layers[1].layer_type == "fcc"
+
+    def test_output_shapes_recorded(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        assert fi.layers[0].output_shape == (2, 4, 32, 32)
+        assert fi.layers[1].output_shape == (2, 10)
+
+    def test_weight_shapes_recorded(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        assert fi.layers[0].weight_shape == (4, 3, 3, 3)
+        assert fi.layers[1].weight_shape == (10, 4 * 8 * 8)
+
+    def test_neuron_and_weight_counts(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        assert fi.layer_neuron_counts() == [4 * 32 * 32, 10]
+        assert fi.layer_weight_counts() == [4 * 3 * 3 * 3, 10 * 256]
+
+    def test_layer_type_filter(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32), layer_types=("fcc",))
+        assert fi.num_layers == 1
+        assert fi.layers[0].layer_type == "fcc"
+
+    def test_model_without_injectable_layers_raises(self):
+        with pytest.raises(ValueError):
+            FaultInjection(nn.Sequential(nn.ReLU()), input_shape=(3, 8, 8))
+
+    def test_skip_profiling_forward(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32), use_hooks_for_profiling=False)
+        assert fi.layers[0].output_shape is None
+
+    def test_invalid_layer_index(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        with pytest.raises(IndexError):
+            fi.get_layer_info(99)
+
+    def test_lenet_layer_count(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        assert fi.num_layers == 5  # 2 conv + 3 linear
+
+
+class TestNeuronInjection:
+    def test_original_model_untouched(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        golden = tiny_cnn(small_images).copy()
+        fault = NeuronFault(batch=0, layer=1, channel=3, depth=-1, height=-1, width=-1, value=30)
+        corrupted_model = fi.declare_neuron_fault_injection([fault])
+        corrupted_model(small_images)
+        np.testing.assert_array_equal(tiny_cnn(small_images), golden)
+
+    def test_fault_changes_target_neuron_only(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        golden = tiny_cnn(small_images)
+        fault = NeuronFault(batch=0, layer=1, channel=3, depth=-1, height=-1, width=-1, value=30)
+        corrupted_model = fi.declare_neuron_fault_injection([fault])
+        corrupted = corrupted_model(small_images)
+        # The last layer is the output layer: only (0, 3) may differ.
+        diff = np.abs(corrupted - golden)
+        assert diff[0, 3] > 0
+        diff[0, 3] = 0
+        assert diff.max() == 0
+
+    def test_applied_fault_record(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        fault = NeuronFault(batch=1, layer=0, channel=2, depth=-1, height=5, width=7, value=31)
+        corrupted_model = fi.declare_neuron_fault_injection([fault])
+        corrupted_model(small_images)
+        assert len(fi.applied_faults) == 1
+        record = fi.applied_faults[0]
+        assert record.target == "neuron"
+        assert record.layer == 0
+        assert record.bit_position == 31
+        assert record.corrupted_value == -record.original_value or (
+            record.original_value == 0.0 and record.corrupted_value == 0.0
+        )
+
+    def test_conv_fault_corrupts_feature_map(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        golden = tiny_cnn(small_images)
+        # A large positive replacement value survives ReLU and max pooling, so
+        # it must propagate to the output (a bit flip at a negative neuron
+        # could legitimately be masked by the ReLU).
+        fault = NeuronFault(batch=0, layer=0, channel=1, depth=-1, height=4, width=4, value=1e6)
+        corrupted_model = fi.declare_neuron_fault_injection(
+            [fault], error_model=RandomValueErrorModel(-1, 1)
+        )
+        corrupted = corrupted_model(small_images)
+        assert not np.allclose(golden, corrupted)
+
+    def test_multiple_faults_per_inference(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        faults = [
+            NeuronFault(batch=0, layer=1, channel=i, depth=-1, height=-1, width=-1, value=30)
+            for i in range(3)
+        ]
+        corrupted_model = fi.declare_neuron_fault_injection(faults)
+        corrupted_model(small_images)
+        assert len(fi.applied_faults) == 3
+
+    def test_value_error_model_uses_fault_value(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        fault = NeuronFault(batch=0, layer=1, channel=0, depth=-1, height=-1, width=-1, value=123.5)
+        corrupted_model = fi.declare_neuron_fault_injection(
+            [fault], error_model=RandomValueErrorModel(-1, 1)
+        )
+        corrupted = corrupted_model(small_images)
+        assert corrupted[0, 0] == pytest.approx(123.5)
+
+    def test_unknown_layer_raises(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        bad = NeuronFault(batch=0, layer=9, channel=0, depth=-1, height=-1, width=-1, value=1)
+        with pytest.raises(IndexError):
+            fi.declare_neuron_fault_injection([bad])
+
+    def test_batch_out_of_range_raises(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, batch_size=1, input_shape=(3, 32, 32))
+        bad = NeuronFault(batch=3, layer=0, channel=0, depth=-1, height=0, width=0, value=1)
+        with pytest.raises(IndexError):
+            fi.declare_neuron_fault_injection([bad])
+
+    def test_neuron_injection_without_profiling_raises(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32), use_hooks_for_profiling=False)
+        fault = NeuronFault(batch=0, layer=0, channel=0, depth=-1, height=0, width=0, value=1)
+        with pytest.raises(RuntimeError):
+            fi.declare_neuron_fault_injection([fault])
+
+    def test_smaller_runtime_batch_skips_fault(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, batch_size=2, input_shape=(3, 32, 32))
+        fault = NeuronFault(batch=1, layer=1, channel=0, depth=-1, height=-1, width=-1, value=30)
+        corrupted_model = fi.declare_neuron_fault_injection([fault])
+        single = np.zeros((1, 3, 32, 32), dtype=np.float32)
+        corrupted_model(single)  # batch index 1 does not exist -> no corruption
+        assert len(fi.applied_faults) == 0
+
+
+class TestWeightInjection:
+    def test_weight_fault_modifies_copy_only(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        original_weight = tiny_cnn.conv1.weight.data.copy()
+        fault = WeightFault(layer=0, out_channel=1, in_channel=2, depth=-1, height=1, width=1, value=30)
+        corrupted_model = fi.declare_weight_fault_injection([fault])
+        np.testing.assert_array_equal(tiny_cnn.conv1.weight.data, original_weight)
+        assert not np.array_equal(corrupted_model.conv1.weight.data, original_weight)
+
+    def test_weight_fault_is_applied_immediately(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        fault = WeightFault(layer=0, out_channel=0, in_channel=0, depth=-1, height=0, width=0, value=31)
+        fi.declare_weight_fault_injection([fault])
+        # Applied record exists before any inference (weights are static).
+        assert len(fi.applied_faults) == 1
+        record = fi.applied_faults[0]
+        assert record.target == "weight"
+        assert record.corrupted_value == -record.original_value
+
+    def test_linear_weight_fault(self, tiny_cnn, small_images):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        golden = tiny_cnn(small_images)
+        fault = WeightFault(layer=1, out_channel=4, in_channel=10, depth=-1, height=-1, width=-1, value=30)
+        corrupted_model = fi.declare_weight_fault_injection([fault])
+        corrupted = corrupted_model(small_images)
+        # Only output neuron 4 can change for a fault in row 4 of the weight matrix.
+        diff = np.abs(corrupted - golden).max(axis=0)
+        assert diff[4] > 0
+        diff[4] = 0
+        assert diff.max() == 0
+
+    def test_exponent_bit_flip_produces_large_weight(self, lenet_model):
+        fi = FaultInjection(lenet_model, input_shape=(3, 32, 32))
+        fault = WeightFault(layer=0, out_channel=0, in_channel=0, depth=-1, height=0, width=0, value=30)
+        corrupted_model = fi.declare_weight_fault_injection([fault])
+        corrupted_weight = corrupted_model.get_submodule(fi.layers[0].name).weight.data
+        assert np.abs(corrupted_weight).max() > 1e30
+
+    def test_unknown_layer_raises(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        bad = WeightFault(layer=5, out_channel=0, in_channel=0, depth=-1, height=0, width=0, value=1)
+        with pytest.raises(IndexError):
+            fi.declare_weight_fault_injection([bad])
+
+    def test_reset_clears_log(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        fault = WeightFault(layer=0, out_channel=0, in_channel=0, depth=-1, height=0, width=0, value=3)
+        fi.declare_weight_fault_injection([fault])
+        fi.reset()
+        assert fi.applied_faults == []
+
+    def test_bitflip_replays_fault_value_as_position(self, tiny_cnn):
+        fi = FaultInjection(tiny_cnn, input_shape=(3, 32, 32))
+        fault = WeightFault(layer=0, out_channel=0, in_channel=0, depth=-1, height=0, width=0, value=17)
+        fi.declare_weight_fault_injection([fault], error_model=BitFlipErrorModel(bit_range=(0, 31)))
+        assert fi.applied_faults[0].bit_position == 17
+
+
+class TestConv3dInjection:
+    @pytest.fixture
+    def conv3d_model(self):
+        class Volume(nn.Module):
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.conv = nn.Conv3d(1, 2, (1, 3, 3), padding=(0, 1, 1), rng=rng)
+                self.flatten = nn.Flatten()
+                self.fc = nn.Linear(2 * 2 * 8 * 8, 4, rng=rng)
+
+            def forward(self, x):
+                return self.fc(self.flatten(self.conv(x)))
+
+        return Volume().eval()
+
+    def test_conv3d_profiling(self, conv3d_model):
+        fi = FaultInjection(conv3d_model, input_shape=(1, 2, 8, 8))
+        assert fi.layers[0].layer_type == "conv3d"
+        assert fi.layers[0].output_shape == (1, 2, 2, 8, 8)
+
+    def test_conv3d_neuron_fault(self, conv3d_model):
+        fi = FaultInjection(conv3d_model, input_shape=(1, 2, 8, 8))
+        fault = NeuronFault(batch=0, layer=0, channel=1, depth=1, height=3, width=3, value=30)
+        corrupted_model = fi.declare_neuron_fault_injection([fault])
+        x = np.random.default_rng(1).normal(size=(1, 1, 2, 8, 8)).astype(np.float32)
+        golden = conv3d_model(x)
+        corrupted = corrupted_model(x)
+        assert not np.allclose(golden, corrupted)
+
+    def test_conv3d_weight_fault(self, conv3d_model):
+        fi = FaultInjection(conv3d_model, input_shape=(1, 2, 8, 8))
+        fault = WeightFault(layer=0, out_channel=1, in_channel=0, depth=0, height=2, width=2, value=30)
+        corrupted_model = fi.declare_weight_fault_injection([fault])
+        assert not np.array_equal(
+            corrupted_model.get_submodule("conv").weight.data,
+            conv3d_model.get_submodule("conv").weight.data,
+        )

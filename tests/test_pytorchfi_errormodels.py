@@ -1,0 +1,98 @@
+"""Unit tests for the value-level error models."""
+
+import numpy as np
+import pytest
+
+from repro.pytorchfi import (
+    BitFlipErrorModel,
+    RandomValueErrorModel,
+    StuckAtErrorModel,
+    build_error_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBitFlipErrorModel:
+    def test_fixed_position_replays_exactly(self, rng):
+        model = BitFlipErrorModel(bit_position=31)
+        corrupted, info = model.corrupt(2.5, rng)
+        assert corrupted == -2.5
+        assert info["bit_position"] == 31
+        assert info["flip_direction"] == "0->1"
+
+    def test_sampled_position_within_range(self, rng):
+        model = BitFlipErrorModel(bit_range=(23, 30))
+        for _ in range(50):
+            assert 23 <= model.sample_bit(rng) <= 30
+
+    def test_corrupt_changes_value(self, rng):
+        model = BitFlipErrorModel(bit_range=(0, 31))
+        corrupted, _ = model.corrupt(1.0, rng)
+        assert corrupted != 1.0
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            BitFlipErrorModel(bit_range=(10, 5))
+        with pytest.raises(ValueError):
+            BitFlipErrorModel(bit_range=(-1, 5))
+
+    def test_describe_round_trips_through_builder(self):
+        model = BitFlipErrorModel(bit_range=(23, 30), dtype="float16", bit_position=None)
+        rebuilt = build_error_model(model.describe())
+        assert isinstance(rebuilt, BitFlipErrorModel)
+        assert rebuilt.bit_range == (23, 30)
+        assert rebuilt.dtype == "float16"
+
+
+class TestStuckAtErrorModel:
+    def test_stuck_at_one_forces_bit(self, rng):
+        model = StuckAtErrorModel(bit_position=31, stuck_value=1)
+        corrupted, info = model.corrupt(4.0, rng)
+        assert corrupted == -4.0
+        assert info["flip_direction"] == "0->1"
+
+    def test_stuck_at_value_already_set_is_noop(self, rng):
+        model = StuckAtErrorModel(bit_position=31, stuck_value=1)
+        corrupted, info = model.corrupt(-4.0, rng)
+        assert corrupted == -4.0
+        assert info["flip_direction"] == "1->1"
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(ValueError):
+            StuckAtErrorModel(stuck_value=2)
+
+    def test_builder(self):
+        model = build_error_model({"name": "stuck_at", "bit_position": 30, "stuck_value": 0})
+        assert isinstance(model, StuckAtErrorModel)
+        assert model.stuck_value == 0
+
+
+class TestRandomValueErrorModel:
+    def test_value_within_range(self, rng):
+        model = RandomValueErrorModel(min_value=-2.0, max_value=2.0)
+        for _ in range(50):
+            corrupted, info = model.corrupt(0.0, rng)
+            assert -2.0 <= corrupted <= 2.0
+            assert info["bit_position"] is None
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            RandomValueErrorModel(min_value=1.0, max_value=-1.0)
+
+    def test_builder(self):
+        model = build_error_model({"name": "random_value", "min_value": 0.0, "max_value": 5.0})
+        assert isinstance(model, RandomValueErrorModel)
+        assert model.max_value == 5.0
+
+
+class TestBuilder:
+    def test_default_is_bitflip(self):
+        assert isinstance(build_error_model({}), BitFlipErrorModel)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_error_model({"name": "cosmic_ray"})

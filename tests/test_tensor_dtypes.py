@@ -1,0 +1,60 @@
+"""Unit tests for the dtype registry."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SUPPORTED_DTYPES,
+    dtype_info,
+    exponent_bit_range,
+    mantissa_bit_range,
+    sign_bit,
+)
+
+
+class TestDtypeInfo:
+    def test_lookup_by_name(self):
+        info = dtype_info("float32")
+        assert info.bits == 32
+        assert info.exponent_bits == 8
+        assert info.mantissa_bits == 23
+        assert info.is_float
+
+    def test_lookup_by_numpy_dtype(self):
+        assert dtype_info(np.float16).name == "float16"
+        assert dtype_info(np.dtype(np.float64)).name == "float64"
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(KeyError):
+            dtype_info("bfloat16")
+
+    def test_int_view_width_matches(self):
+        for info in SUPPORTED_DTYPES.values():
+            assert info.int_view.itemsize * 8 == info.bits
+
+    def test_float_field_widths_sum(self):
+        for info in SUPPORTED_DTYPES.values():
+            if info.is_float:
+                assert 1 + info.exponent_bits + info.mantissa_bits == info.bits
+
+
+class TestFieldRanges:
+    def test_sign_bit_positions(self):
+        assert sign_bit("float32") == 31
+        assert sign_bit("float16") == 15
+        assert sign_bit("float64") == 63
+
+    def test_exponent_range_float32(self):
+        assert exponent_bit_range("float32") == (23, 30)
+
+    def test_exponent_range_float16(self):
+        assert exponent_bit_range("float16") == (10, 14)
+
+    def test_mantissa_range_float32(self):
+        assert mantissa_bit_range("float32") == (0, 22)
+
+    def test_int_types_have_no_exponent(self):
+        with pytest.raises(ValueError):
+            exponent_bit_range("int8")
+        with pytest.raises(ValueError):
+            mantissa_bit_range("int32")

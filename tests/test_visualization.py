@@ -1,0 +1,61 @@
+"""Unit tests for the text-based visualisation helpers."""
+
+import pytest
+
+from repro.visualization import bar_chart, comparison_table, sde_per_bit_chart, sde_per_layer_chart
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart({"vgg16": 0.118, "resnet50": 0.05}, title="SDE rates")
+        assert "SDE rates" in chart
+        assert "vgg16" in chart and "resnet50" in chart
+        assert "0.1180" in chart
+
+    def test_bar_lengths_scale_with_values(self):
+        chart = bar_chart({"small": 0.1, "large": 1.0}, width=20, max_value=1.0)
+        lines = {line.split("|")[0].strip(): line for line in chart.splitlines() if "|" in line}
+        assert lines["large"].count("#") > lines["small"].count("#")
+
+    def test_empty_values(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_values_above_scale_are_clamped(self):
+        chart = bar_chart({"big": 5.0}, width=10, max_value=1.0)
+        assert chart.count("#") == 10
+
+
+class TestComparisonTable:
+    def test_renders_rows_and_columns(self):
+        rows = [
+            {"model": "vgg16", "sde": 0.118, "due": 0.001},
+            {"model": "resnet50", "sde": 0.05, "due": 0.002},
+        ]
+        table = comparison_table(rows, ["model", "sde", "due"], title="Fig 2a")
+        assert "Fig 2a" in table
+        assert "vgg16" in table
+        assert "0.1180" in table
+        assert table.count("\n") >= 3
+
+    def test_missing_cells_rendered_empty(self):
+        table = comparison_table([{"a": 1}], ["a", "b"])
+        assert "b" in table
+
+    def test_empty_rows(self):
+        assert "(no rows)" in comparison_table([], ["a"])
+
+
+class TestDomainCharts:
+    def test_sde_per_bit_chart_sorted(self):
+        chart = sde_per_bit_chart({31: 0.5, 23: 0.1, 30: 0.9})
+        lines = [line for line in chart.splitlines() if line.startswith("bit")]
+        assert lines[0].startswith("bit 23")
+        assert lines[-1].startswith("bit 31")
+
+    def test_sde_per_layer_chart_with_names(self):
+        chart = sde_per_layer_chart({0: 0.2, 1: 0.4}, layer_names={0: "conv1", 1: "fc"})
+        assert "conv1" in chart and "fc" in chart
