@@ -1,0 +1,130 @@
+"""Experiment ``scale`` — clone-free campaign engine throughput.
+
+The seed implementation obtained each faulty model by deep-copying the whole
+network (one ``model.clone()`` per fault group).  The campaign engine patches
+the fault group's weight corruptions *in place* on the original model and
+restores the exact original bit patterns afterwards, so the per-group cost is
+a handful of scalar writes instead of a full model copy.  This benchmark
+tracks that replacement the same way the other ``scale_*`` results do:
+
+* faulty-model throughput of the clone-per-group path vs the patch-session
+  path over identical fault groups (VGG-16, weight faults);
+* end-to-end streaming campaign throughput (golden + faulty inference,
+  monitoring, outcome classification, CSV streaming) via ``CampaignRunner``.
+
+The bit-exact restore guarantee is asserted here as well: after the timed
+session sweep every weight of the model must have the identical bit pattern
+it started with.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.alficore import CampaignResultWriter, CampaignRunner, default_scenario, ptfiwrap
+from repro.data import SyntheticClassificationDataset
+from repro.models import lenet5, vgg16
+from repro.models.pretrained import fit_classifier_head
+from repro.tensor.bitops import float_to_bits
+from repro.visualization import comparison_table
+
+GROUPS = 40
+
+
+@pytest.fixture(scope="module")
+def vgg_model():
+    return vgg16(num_classes=10, seed=0).eval()
+
+
+def test_patch_session_vs_clone_per_group(benchmark, vgg_model):
+    """Patch sessions must be >=5x faster than clone-per-group on VGG-16."""
+    scenario = default_scenario(
+        dataset_size=GROUPS, injection_target="weights", random_seed=12, batch_size=1
+    )
+    wrapper = ptfiwrap(vgg_model, scenario=scenario)
+    bits_before = {
+        name: float_to_bits(param.data).copy() for name, param in vgg_model.named_parameters()
+    }
+
+    def session_sweep():
+        wrapper.reset_iterator()
+        count = 0
+        for group in wrapper.get_fault_group_iter():
+            with group:
+                count += 1
+        return count
+
+    count = benchmark.pedantic(session_sweep, rounds=3, iterations=1)
+    assert count == GROUPS
+    session_seconds = benchmark.stats.stats.mean
+
+    # Acceptance: the original model is restored bit-exactly after each group.
+    for name, param in vgg_model.named_parameters():
+        np.testing.assert_array_equal(bits_before[name], float_to_bits(param.data))
+
+    wrapper.reset_iterator()
+    start = time.perf_counter()
+    clone_models = list(wrapper.get_fimodel_iter())
+    clone_seconds = time.perf_counter() - start
+    assert len(clone_models) == GROUPS
+
+    speedup = clone_seconds / session_seconds
+    assert speedup > 5
+    report(
+        "scale_patch_session",
+        comparison_table(
+            [
+                {
+                    "strategy": "clone-per-group (seed path)",
+                    "seconds": clone_seconds,
+                    "faulty models/s": GROUPS / clone_seconds,
+                },
+                {
+                    "strategy": "in-place patch session",
+                    "seconds": session_seconds,
+                    "faulty models/s": GROUPS / session_seconds,
+                },
+                {"strategy": "speedup", "seconds": speedup, "faulty models/s": float("nan")},
+            ],
+            ["strategy", "seconds", "faulty models/s"],
+            title=f"Clone-free campaign engine: {GROUPS} weight fault groups on VGG-16",
+        ),
+    )
+
+
+def test_streaming_campaign_end_to_end(benchmark, tmp_path):
+    """End-to-end streamed campaign: KPIs computed, records on disk, O(batch) memory."""
+    dataset = SyntheticClassificationDataset(num_samples=30, num_classes=10, noise=0.25, seed=6)
+    model = fit_classifier_head(lenet5(seed=2), dataset, 10)
+    scenario = default_scenario(
+        injection_target="weights", rnd_bit_range=(23, 30), random_seed=14, model_name="engine"
+    )
+
+    def run_campaign():
+        writer = CampaignResultWriter(tmp_path, campaign_name="engine")
+        return CampaignRunner(model, dataset, scenario=scenario, writer=writer).run()
+
+    summary = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    assert summary.num_inferences == len(dataset)
+    assert summary.masked_rate + summary.sde_rate + summary.due_rate == pytest.approx(1.0)
+    report(
+        "scale_campaign_engine",
+        comparison_table(
+            [
+                {
+                    "metric": "inferences (golden+faulty pairs)",
+                    "value": summary.num_inferences,
+                },
+                {"metric": "seconds", "value": elapsed},
+                {"metric": "inferences/s", "value": summary.num_inferences / elapsed},
+                {"metric": "masked rate", "value": summary.masked_rate},
+                {"metric": "sde rate", "value": summary.sde_rate},
+                {"metric": "due rate", "value": summary.due_rate},
+            ],
+            ["metric", "value"],
+            title="Streamed clone-free campaign (LeNet-5, 30 images, per-image weight faults)",
+        ),
+    )

@@ -31,19 +31,27 @@ def profiled_vgg():
 
 
 def test_scale_fault_pregeneration_throughput(benchmark, profiled_vgg):
-    """Generating 100k weight faults for VGG-16 must run at >10k faults/s."""
+    """The vectorized generator must produce >200k faults/s on VGG-16.
+
+    (The seed's per-column generator, still available via
+    ``generate(method="percolumn")``, recorded ~80k faults/s on this
+    benchmark; the batched draw path is bit-identical per seed and targets
+    >=20x that.)
+    """
     _, fi = profiled_vgg
     scenario = default_scenario(
         dataset_size=10_000, num_runs=10, injection_target="weights", random_seed=7
     )
     generator = FaultMatrixGenerator(fi, scenario)
 
-    matrix = benchmark.pedantic(lambda: generator.generate(100_000), rounds=1, iterations=1)
+    matrix = benchmark.pedantic(
+        lambda: generator.generate(100_000), rounds=3, iterations=1, warmup_rounds=1
+    )
     assert matrix.num_faults == 100_000
 
     elapsed = benchmark.stats.stats.mean
     throughput = matrix.num_faults / elapsed
-    assert throughput > 10_000
+    assert throughput > 200_000
     report(
         "scale_pregeneration",
         comparison_table(
@@ -62,14 +70,27 @@ def test_scale_fault_pregeneration_throughput(benchmark, profiled_vgg):
 
 
 def test_scale_iterator_vs_naive_reconfiguration(benchmark, profiled_vgg):
-    """The faulty-model iterator must beat re-wrapping the model per image."""
+    """The clone-free session iterator must beat the clone-per-group iterator
+
+    (the seed implementation of Listing 1) by >=5x and the naive per-image
+    re-wrap by a wide margin."""
     model, _ = profiled_vgg
     images = 20
     scenario = default_scenario(
         dataset_size=images, injection_target="weights", random_seed=8, batch_size=1
     )
 
-    def iterator_path():
+    def session_path():
+        # The campaign engine: faults patched in place, restored bit-exactly.
+        wrapper = ptfiwrap(model, scenario=scenario)
+        groups = 0
+        for group in wrapper.get_fault_group_iter():
+            with group:
+                groups += 1
+        return groups
+
+    def clone_path():
+        # The seed iterator: one full model deep copy per fault group.
         wrapper = ptfiwrap(model, scenario=scenario)
         fault_iter = wrapper.get_fimodel_iter()
         return [next(fault_iter) for _ in range(images)]
@@ -82,35 +103,47 @@ def test_scale_iterator_vs_naive_reconfiguration(benchmark, profiled_vgg):
             corrupted.append(next(wrapper.get_fimodel_iter()))
         return corrupted
 
-    corrupted_models = benchmark.pedantic(iterator_path, rounds=1, iterations=1)
-    assert len(corrupted_models) == images
-    iterator_seconds = benchmark.stats.stats.mean
+    groups = benchmark.pedantic(session_path, rounds=1, iterations=1)
+    assert groups == images
+    session_seconds = benchmark.stats.stats.mean
 
     import time
+
+    start = time.perf_counter()
+    clone_models = clone_path()
+    clone_seconds = time.perf_counter() - start
+    assert len(clone_models) == images
 
     start = time.perf_counter()
     naive_models = naive_path()
     naive_seconds = time.perf_counter() - start
     assert len(naive_models) == images
 
-    speedup = naive_seconds / iterator_seconds
-    assert speedup > 1.5  # pre-generated faults amortise profiling + generation
+    speedup_vs_clone = clone_seconds / session_seconds
+    speedup_vs_naive = naive_seconds / session_seconds
+    assert speedup_vs_clone > 5  # acceptance: >=5x over the seed iterator path
+    assert speedup_vs_naive > 1.5
     report(
         "scale_iterator_vs_naive",
         comparison_table(
             [
                 {
-                    "strategy": "ptfiwrap iterator (pre-generated faults)",
-                    "seconds for 20 faulty models": iterator_seconds,
+                    "strategy": "ptfiwrap patch-session iterator (clone-free)",
+                    "seconds for 20 faulty models": session_seconds,
+                },
+                {
+                    "strategy": "ptfiwrap clone-per-group iterator (seed path)",
+                    "seconds for 20 faulty models": clone_seconds,
                 },
                 {
                     "strategy": "naive re-wrap per image",
                     "seconds for 20 faulty models": naive_seconds,
                 },
-                {"strategy": "speedup", "seconds for 20 faulty models": speedup},
+                {"strategy": "speedup vs clone-per-group", "seconds for 20 faulty models": speedup_vs_clone},
+                {"strategy": "speedup vs naive re-wrap", "seconds for 20 faulty models": speedup_vs_naive},
             ],
             ["strategy", "seconds for 20 faulty models"],
-            title="Large-scale campaign: faulty-model iterator vs per-image reconfiguration (VGG-16)",
+            title="Large-scale campaign: clone-free sessions vs clone-per-group vs per-image reconfiguration (VGG-16)",
         ),
     )
 

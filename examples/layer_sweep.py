@@ -30,11 +30,14 @@ def run_sweep(wrapper, images, golden, configure) -> dict[int, float]:
         scenario = wrapper.get_scenario()
         configure(scenario, step)
         wrapper.set_scenario(scenario)
-        fault_iter = wrapper.get_fimodel_iter()
+        # Clone-free fault group sessions: one reusable hooked model per
+        # sweep step instead of a fresh model deep copy per image.
+        group_iter = wrapper.get_fault_group_iter()
         corrupted = []
         for index in range(len(images)):
-            corrupted_model = next(fault_iter)
-            corrupted.append(corrupted_model(images[index : index + 1])[0])
+            with next(group_iter) as group:
+                corrupted.append(group.model(images[index : index + 1])[0])
+        group_iter.close()
         rates = sde_rate(golden, np.stack(corrupted))
         results[step] = rates["sde"] + rates["due"]
     return results

@@ -1,21 +1,32 @@
-"""Quickstart: low-level PyTorchALFI integration (Listing 1 of the paper).
+"""Quickstart: the clone-free campaign engine.
 
-Wraps a pre-trained classifier with ``ptfiwrap``, iterates over the dataset
-while pulling a freshly fault-injected model for every image, and compares
-the corrupted outputs against the fault-free (golden) run.
+Wraps a pre-trained classifier and runs a complete fault-injection campaign
+with :class:`~repro.alficore.campaign.CampaignRunner`: golden and faulty
+inference run in lock-step over the dataset, but no model copy is ever made —
+each fault group's weight corruptions are patched *in place* on the original
+model and the exact original bit patterns are restored after every group
+(neuron campaigns reuse a single hooked model instead).  Per-inference result
+records are streamed to disk as they are produced, so memory stays bounded by
+the batch size no matter how large the campaign is.
+
+The lower-level Listing-1 loop is still available via
+``ptfiwrap.get_fault_group_iter()`` (see ``repro/alficore/wrapper.py``).
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
-from repro.alficore import default_scenario, ptfiwrap
+from repro.alficore import CampaignResultWriter, CampaignRunner, default_scenario
 from repro.data import SyntheticClassificationDataset
-from repro.eval import evaluate_classification_campaign
 from repro.models import lenet5
 from repro.models.pretrained import fit_classifier_head
+from repro.tensor.bitops import float_to_bits
 from repro.visualization import comparison_table
 
 
@@ -26,59 +37,61 @@ def main() -> None:
 
     # 2. Define the fault injection campaign (normally read from scenarios/default.yml).
     scenario = default_scenario(
-        dataset_size=len(dataset),
-        injection_target="neurons",      # corrupt activations through forward hooks
+        injection_target="weights",      # patch weights in place, restore bit-exactly
         rnd_value_type="bitflip",
         rnd_bit_range=(0, 31),            # any float32 bit
         max_faults_per_image=1,
         inj_policy="per_image",
         random_seed=1234,
-        batch_size=1,
+        model_name="quickstart",
     )
 
-    # 3. Wrap the model: this profiles the layers and pre-generates all faults.
-    wrapper = ptfiwrap(model=model, scenario=scenario)
-    print(f"injectable layers : {wrapper.fault_injection.num_layers}")
-    print(f"pre-generated faults: {wrapper.get_fault_matrix().num_faults}")
+    # 3. Build the campaign runner: profiles the model, pre-generates the
+    #    complete fault matrix (vectorized, bit-reproducible per seed) and
+    #    prepares streaming result writers.
+    writer = CampaignResultWriter("quickstart_output", campaign_name="quickstart")
+    runner = CampaignRunner(model, dataset, scenario=scenario, writer=writer)
+    print(f"injectable layers : {runner.wrapper.fault_injection.num_layers}")
+    print(f"pre-generated faults: {runner.wrapper.get_fault_matrix().num_faults}")
 
-    # 4. Listing-1 loop: golden and corrupted inference side by side.
-    fault_iter = wrapper.get_fimodel_iter()
-    golden_logits, corrupted_logits, labels = [], [], []
-    for index in range(len(dataset)):
-        image, label = dataset[index]
-        batch = image[None, ...]
-        corrupted_model = next(fault_iter)
+    # Snapshot the weight bit patterns to demonstrate the restore guarantee.
+    bits_before = {name: float_to_bits(p.data).copy() for name, p in model.named_parameters()}
 
-        golden_logits.append(model(batch)[0])
-        corrupted_logits.append(corrupted_model(batch)[0])
-        labels.append(label)
+    # 4. Run: golden + corrupted inference per image, NaN/Inf monitoring,
+    #    masked/SDE/DUE classification, records streamed to disk.
+    summary = runner.run()
 
-    # 5. KPI generation.
-    result = evaluate_classification_campaign(
-        np.stack(golden_logits), np.stack(corrupted_logits), np.asarray(labels), model_name="lenet5"
+    # 5. The original model is bit-exactly restored after every fault group.
+    restored = all(
+        np.array_equal(bits_before[name], float_to_bits(p.data))
+        for name, p in model.named_parameters()
     )
+    print(f"model bit-exactly restored: {restored}")
+
     print()
     print(
         comparison_table(
             [
                 {
-                    "model": result.model_name,
-                    "inferences": result.num_inferences,
-                    "golden top-1": result.golden_top1_accuracy,
-                    "masked": result.masked_rate,
-                    "SDE": result.sde_rate,
-                    "DUE": result.due_rate,
+                    "model": summary.model_name,
+                    "inferences": summary.num_inferences,
+                    "golden top-1": summary.golden_top1_accuracy,
+                    "masked": summary.masked_rate,
+                    "SDE": summary.sde_rate,
+                    "DUE": summary.due_rate,
                 }
             ],
             ["model", "inferences", "golden top-1", "masked", "SDE", "DUE"],
-            title="Quickstart campaign (single neuron bit flips, one per image)",
+            title="Quickstart campaign (single weight bit flips, one per image, clone-free)",
         )
     )
 
-    # 6. The applied faults (location, bit, flip direction, original/corrupted value).
+    # 6. The applied faults were streamed to disk (location, bit, flip
+    #    direction, original/corrupted value) — no in-memory accumulation.
+    applied = json.loads(Path(summary.output_files["applied_faults"]).read_text())
     print("\nfirst three applied faults:")
-    for record in wrapper.applied_faults[:3]:
-        print(f"  {record.as_dict()}")
+    for record in applied[:3]:
+        print(f"  {record}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,336 @@
+"""Clone-free campaign engine.
+
+:class:`CampaignRunner` drives a complete classification fault-injection
+campaign over a metadata-enriched data loader without ever copying the model:
+
+* golden and faulty inference run batch-wise in lock-step; the faulty pass
+  goes through the wrapper's clone-free fault group sessions
+  (:meth:`~repro.alficore.wrapper.ptfiwrap.get_fault_group_iter`), so weight
+  faults are patched in place and restored bit-exactly after every group and
+  neuron faults reuse one hooked model whose active group is swapped per step;
+* an :class:`~repro.alficore.monitoring.InferenceMonitor` watches the faulty
+  model's intermediate activations for NaN/Inf events (DUE detection);
+* every inference is classified masked / SDE / DUE against its golden run via
+  :mod:`repro.eval.sdc`;
+* per-inference result records and the applied-fault log are *streamed* to
+  :class:`~repro.alficore.results.CampaignResultWriter` as they are produced
+  instead of being accumulated in memory, so campaign memory stays bounded by
+  the batch size, not the dataset size.
+
+Only aggregate KPIs (accuracies, outcome rates) are kept in memory and
+returned as a :class:`CampaignSummary`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.alficore.monitoring import InferenceMonitor
+from repro.alficore.policies import InjectionPolicy
+from repro.alficore.results import CampaignResultWriter, ClassificationRecord
+from repro.alficore.scenario import ScenarioConfig, default_scenario
+from repro.alficore.wrapper import ptfiwrap
+from repro.data.wrapper import AlfiDataLoaderWrapper, ImageRecord
+from repro.eval.classification import top_k_predictions
+from repro.eval.sdc import FaultOutcome, classify_classification_outcome
+from repro.nn.module import Module
+from repro.pytorchfi.errormodels import ErrorModel
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate KPIs of one streamed fault-injection campaign."""
+
+    model_name: str
+    num_inferences: int
+    num_fault_groups: int
+    num_applied_faults: int
+    golden_top1_accuracy: float
+    golden_top5_accuracy: float
+    corrupted_top1_accuracy: float
+    masked_rate: float
+    sde_rate: float
+    due_rate: float
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+    output_files: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary."""
+        return {
+            "model_name": self.model_name,
+            "num_inferences": self.num_inferences,
+            "num_fault_groups": self.num_fault_groups,
+            "num_applied_faults": self.num_applied_faults,
+            "golden_top1_accuracy": self.golden_top1_accuracy,
+            "golden_top5_accuracy": self.golden_top5_accuracy,
+            "corrupted_top1_accuracy": self.corrupted_top1_accuracy,
+            "masked_rate": self.masked_rate,
+            "sde_rate": self.sde_rate,
+            "due_rate": self.due_rate,
+            "outcome_counts": dict(self.outcome_counts),
+            "output_files": dict(self.output_files),
+        }
+
+
+class _Tally:
+    """Running aggregates of a streamed campaign (O(1) memory)."""
+
+    def __init__(self):
+        self.inferences = 0
+        self.golden_top1_hits = 0
+        self.golden_top5_hits = 0
+        self.corrupted_top1_hits = 0
+        self.outcomes: Counter = Counter()
+        self.applied_faults = 0
+        self.groups = 0
+
+
+class CampaignRunner:
+    """Run a classification fault-injection campaign without model clones.
+
+    Args:
+        model: the fault-free baseline classifier (restored bit-exactly after
+            every weight fault group).
+        dataset: map-style dataset yielding ``(image, label)``; wrapped in an
+            :class:`~repro.data.wrapper.AlfiDataLoaderWrapper`.
+        scenario: campaign configuration.  ``dataset_size`` is aligned with
+            the dataset, and ``per_image`` campaigns run with ``batch_size=1``
+            (the paper's convention: one fault group per image).
+        writer: optional :class:`CampaignResultWriter`; when given, the meta
+            file, fault matrix, applied-fault log and per-inference golden /
+            corrupted CSVs are written (records are streamed, not buffered).
+        error_model: overrides the error model derived from the scenario.
+        input_shape: per-sample input shape used for model profiling.
+        custom_monitors: extra monitoring callbacks attached alongside the
+            NaN/Inf monitor.
+        dl_shuffle: shuffle the dataset between epochs (seeded).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        dataset,
+        scenario: ScenarioConfig | None = None,
+        writer: CampaignResultWriter | None = None,
+        error_model: ErrorModel | None = None,
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        custom_monitors: list[Callable] | None = None,
+        dl_shuffle: bool = False,
+    ):
+        if dataset is None or len(dataset) == 0:
+            raise ValueError("a non-empty dataset is required to run a campaign")
+        self.model = model.eval()
+        self.dataset = dataset
+        scenario = scenario if scenario is not None else default_scenario()
+        overrides: dict = {}
+        if scenario.dataset_size != len(dataset):
+            overrides["dataset_size"] = len(dataset)
+        if scenario.inj_policy == "per_image" and scenario.batch_size != 1:
+            overrides["batch_size"] = 1
+        self.scenario = scenario.copy(**overrides) if overrides else scenario
+        self.writer = writer
+        self.custom_monitors = list(custom_monitors or [])
+        self.dl_shuffle = dl_shuffle
+        self._error_model = error_model
+        self.wrapper = ptfiwrap(model, scenario=self.scenario, input_shape=input_shape)
+        self._monitors: dict[int, InferenceMonitor] = {}
+
+    # ------------------------------------------------------------------ #
+    # campaign execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignSummary:
+        """Execute the campaign and return the aggregate KPIs."""
+        scenario = self.scenario
+        policy = InjectionPolicy.from_string(scenario.inj_policy)
+        loader = AlfiDataLoaderWrapper(
+            self.dataset,
+            batch_size=scenario.batch_size,
+            shuffle=self.dl_shuffle,
+            seed=scenario.random_seed,
+        )
+        groups = self.wrapper.get_fault_group_iter(self._error_model)
+        tally = _Tally()
+        golden_stream = corrupted_stream = applied_stream = None
+        stream_paths: dict[str, str] = {}
+        if self.writer is not None:
+            golden_stream = self.writer.stream_classification("golden")
+            corrupted_stream = self.writer.stream_classification("corrupted")
+            applied_stream = self.writer.stream_applied_faults()
+            stream_paths = {
+                "golden_csv": str(golden_stream.path),
+                "corrupted_csv": str(corrupted_stream.path),
+                "applied_faults": str(applied_stream.path),
+            }
+        try:
+            for _epoch in range(scenario.num_runs):
+                if policy is InjectionPolicy.PER_EPOCH:
+                    group = self._next_group(groups)
+                    tally.groups += 1
+                    first_batch = True
+                    for batch in loader:
+                        self._run_batch(
+                            batch, group, tally, golden_stream, corrupted_stream,
+                            applied_stream, collect_applied=first_batch,
+                        )
+                        first_batch = False
+                else:  # per_batch, or per_image with batch_size forced to 1
+                    for batch in loader:
+                        group = self._next_group(groups)
+                        tally.groups += 1
+                        self._run_batch(
+                            batch, group, tally, golden_stream, corrupted_stream,
+                            applied_stream, collect_applied=True,
+                        )
+        finally:
+            for stream in (golden_stream, corrupted_stream, applied_stream):
+                if stream is not None:
+                    stream.close()
+            groups.close()
+            for monitor in self._monitors.values():
+                monitor.detach()
+            self._monitors = {}
+        return self._summarize(tally, stream_paths)
+
+    @staticmethod
+    def _next_group(groups: Iterator):
+        try:
+            return next(groups)
+        except StopIteration:
+            raise RuntimeError(
+                "fault matrix exhausted before the campaign finished; the loaded "
+                "fault file provides fewer fault groups than the scenario needs"
+            ) from None
+
+    def _run_batch(
+        self,
+        batch: list[ImageRecord],
+        group,
+        tally: _Tally,
+        golden_stream,
+        corrupted_stream,
+        applied_stream,
+        collect_applied: bool,
+    ) -> None:
+        images = AlfiDataLoaderWrapper.stack_images(batch)
+        golden_out = np.asarray(self.model(images))  # before the patch is applied
+        with group:
+            monitor = self._monitor_for(group.model)
+            monitor.reset()
+            monitor.enabled = True
+            try:
+                corrupted_out = np.asarray(group.model(images))
+            finally:
+                monitor.enabled = False
+            monitor_result = monitor.collect()
+        applied = [fault.as_dict() for fault in group.applied_faults]
+        if collect_applied:
+            tally.applied_faults += len(applied)
+            if applied_stream is not None:
+                for entry in applied:
+                    applied_stream.write(entry)
+
+        golden_classes, golden_probs = top_k_predictions(golden_out, k=5)
+        corrupted_classes, corrupted_probs = top_k_predictions(corrupted_out, k=5)
+        for i, record in enumerate(batch):
+            label = int(record.target)
+            # Monitor events are batch-scoped; per-image output NaN/Inf adds
+            # image resolution on top (for batch_size=1 they coincide).
+            nan_detected = monitor_result.nan_detected or bool(np.isnan(corrupted_out[i]).any())
+            inf_detected = monitor_result.inf_detected or bool(np.isinf(corrupted_out[i]).any())
+            outcome = classify_classification_outcome(
+                int(golden_classes[i, 0]),
+                int(corrupted_classes[i, 0]),
+                nan_detected or inf_detected,
+            )
+            tally.inferences += 1
+            tally.outcomes[outcome] += 1
+            tally.golden_top1_hits += int(golden_classes[i, 0] == label)
+            tally.golden_top5_hits += int(label in golden_classes[i])
+            tally.corrupted_top1_hits += int(corrupted_classes[i, 0] == label)
+            if golden_stream is not None:
+                golden_stream.write(
+                    self._record(record, label, golden_classes[i], golden_probs[i], [], False, False, "golden")
+                )
+            if corrupted_stream is not None:
+                corrupted_stream.write(
+                    self._record(
+                        record, label, corrupted_classes[i], corrupted_probs[i],
+                        applied, nan_detected, inf_detected, "corrupted",
+                    )
+                )
+
+    def _monitor_for(self, model: Module) -> InferenceMonitor:
+        """Attach (once) and return the monitor for a faulty model instance.
+
+        The clone-free sessions reuse stable model objects — the original for
+        weight faults, one hooked clone for neuron faults — so the monitor
+        hooks are attached a single time per campaign instead of per group.
+        """
+        key = id(model)
+        monitor = self._monitors.get(key)
+        if monitor is None:
+            monitor = InferenceMonitor(model, custom_monitors=self.custom_monitors)
+            monitor.attach()
+            # Disabled outside the faulty inference: for weight campaigns the
+            # monitored model is also the golden model, and the golden pass
+            # should not pay the per-layer NaN/Inf scan.
+            monitor.enabled = False
+            self._monitors[key] = monitor
+        return monitor
+
+    @staticmethod
+    def _record(
+        record: ImageRecord,
+        label: int,
+        classes: np.ndarray,
+        probabilities: np.ndarray,
+        applied: list[dict],
+        nan_detected: bool,
+        inf_detected: bool,
+        tag: str,
+    ) -> ClassificationRecord:
+        return ClassificationRecord(
+            image_id=record.image_id,
+            file_name=record.file_name,
+            ground_truth=label,
+            top5_classes=[int(c) for c in classes],
+            top5_probabilities=[float(p) for p in probabilities],
+            fault_positions=applied,
+            nan_detected=nan_detected,
+            inf_detected=inf_detected,
+            model_tag=tag,
+        )
+
+    def _summarize(self, tally: _Tally, stream_paths: dict[str, str]) -> CampaignSummary:
+        n = tally.inferences
+        outcome_counts = {outcome.value: tally.outcomes.get(outcome, 0) for outcome in FaultOutcome}
+        output_files: dict[str, str] = {}
+        if self.writer is not None:
+            output_files = dict(stream_paths)
+            output_files["meta"] = str(
+                self.writer.write_meta(self.scenario, extra={"model_name": self.scenario.model_name})
+            )
+            output_files["faults"] = str(self.writer.write_fault_matrix(self.wrapper.get_fault_matrix()))
+        summary = CampaignSummary(
+            model_name=self.scenario.model_name,
+            num_inferences=n,
+            num_fault_groups=tally.groups,
+            num_applied_faults=tally.applied_faults,
+            golden_top1_accuracy=tally.golden_top1_hits / n if n else 0.0,
+            golden_top5_accuracy=tally.golden_top5_hits / n if n else 0.0,
+            corrupted_top1_accuracy=tally.corrupted_top1_hits / n if n else 0.0,
+            masked_rate=tally.outcomes.get(FaultOutcome.MASKED, 0) / n if n else 0.0,
+            sde_rate=tally.outcomes.get(FaultOutcome.SDE, 0) / n if n else 0.0,
+            due_rate=tally.outcomes.get(FaultOutcome.DUE, 0) / n if n else 0.0,
+            outcome_counts=outcome_counts,
+            output_files=output_files,
+        )
+        if self.writer is not None:
+            summary.output_files["kpis"] = str(
+                self.writer.write_kpi_summary(summary.as_dict())
+            )
+        return summary

@@ -208,31 +208,46 @@ class FaultMatrixGenerator:
     # ------------------------------------------------------------------ #
     # generation
     # ------------------------------------------------------------------ #
-    def generate(self, num_faults: int | None = None) -> FaultMatrix:
+    def generate(self, num_faults: int | None = None, method: str = "vectorized") -> FaultMatrix:
         """Generate the full fault matrix for the campaign.
+
+        The default ``"vectorized"`` method batches every random draw of the
+        campaign into a single ``rng.integers`` call with per-draw bounds and
+        assembles the ``(7, n)`` matrix with array operations.  Because numpy
+        consumes the underlying bit stream identically for batched and
+        sequential bounded draws, the result is **bit-identical** to the
+        ``"percolumn"`` reference path (one Python iteration per fault) for
+        the same seed — at orders of magnitude higher throughput.
+
+        Scenarios with ``rnd_value_type="number"`` interleave a uniform draw
+        into the integer stream for every column; they always take the
+        per-column path so the stream stays reproducible.
 
         Args:
             num_faults: number of faults; defaults to the scenario's
                 ``total_faults`` (= dataset_size * num_runs * max_faults_per_image).
+            method: ``"vectorized"`` (default) or ``"percolumn"``.
         """
+        if method not in ("vectorized", "percolumn"):
+            raise ValueError(f"unknown generation method {method!r}")
         count = num_faults if num_faults is not None else self.scenario.total_faults
         if count <= 0:
             raise ValueError(f"number of faults must be positive, got {count}")
-        layers = weighted_layer_choice(
-            self.fi,
-            self.scenario.injection_target,
-            self.rng,
-            size=count,
-            layer_range=self.scenario.layer_range,
-            weighted=self.scenario.weighted_layer_selection,
+        layers = np.asarray(
+            weighted_layer_choice(
+                self.fi,
+                self.scenario.injection_target,
+                self.rng,
+                size=count,
+                layer_range=self.scenario.layer_range,
+                weighted=self.scenario.weighted_layer_selection,
+            ),
+            dtype=np.int64,
         )
-        matrix = np.zeros((NUM_ROWS, count), dtype=np.float64)
-        for column in range(count):
-            layer_index = int(layers[column])
-            if self.scenario.injection_target == "neurons":
-                matrix[:, column] = self._neuron_column(column, layer_index)
-            else:
-                matrix[:, column] = self._weight_column(layer_index)
+        if method == "vectorized" and self.scenario.rnd_value_type in ("bitflip", "stuck_at"):
+            matrix = self._assemble_vectorized(count, layers)
+        else:
+            matrix = self._assemble_percolumn(count, layers)
         metadata = {
             "scenario": self.scenario.as_dict(),
             "model_name": self.scenario.model_name,
@@ -245,6 +260,116 @@ class FaultMatrixGenerator:
             injection_target=self.scenario.injection_target,
             metadata=metadata,
         )
+
+    def _assemble_percolumn(self, count: int, layers: np.ndarray) -> np.ndarray:
+        """Reference path: draw and assemble one fault column at a time."""
+        matrix = np.zeros((NUM_ROWS, count), dtype=np.float64)
+        for column in range(count):
+            layer_index = int(layers[column])
+            if self.scenario.injection_target == "neurons":
+                matrix[:, column] = self._neuron_column(column, layer_index)
+            else:
+                matrix[:, column] = self._weight_column(layer_index)
+        return matrix
+
+    def _assemble_vectorized(self, count: int, layers: np.ndarray) -> np.ndarray:
+        """Batch all bounded draws into one call and scatter them into rows.
+
+        The flat draw sequence replays exactly what the per-column path would
+        draw: for each column in order — the batch position (neurons, drawn
+        policies only), the coordinate rows of the column's layer, then the
+        bit-position value row.
+        """
+        scenario = self.scenario
+        neurons = scenario.injection_target == "neurons"
+        draw_batch = neurons and scenario.inj_policy != "per_image"
+        low_bit, high_bit = scenario.rnd_bit_range
+
+        # Per-layer draw plans: matrix rows and integer bounds in draw order.
+        plans: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        counts = np.zeros(self.fi.num_layers, dtype=np.int64)
+        for layer_index in np.unique(layers):
+            rows, lows, highs = self._layer_draw_plan(int(layer_index), draw_batch, low_bit, high_bit)
+            plans[int(layer_index)] = (rows, lows, highs)
+            counts[layer_index] = len(rows)
+
+        col_counts = counts[layers]
+        offsets = np.concatenate(([0], np.cumsum(col_counts)))
+        total = int(offsets[-1])
+        draw_rows = np.empty(total, dtype=np.int64)
+        draw_lows = np.empty(total, dtype=np.int64)
+        draw_highs = np.empty(total, dtype=np.int64)
+        for layer_index, (rows, lows, highs) in plans.items():
+            columns = np.nonzero(layers == layer_index)[0]
+            slots = offsets[columns][:, None] + np.arange(len(rows))[None, :]
+            draw_rows[slots] = rows[None, :]
+            draw_lows[slots] = lows[None, :]
+            draw_highs[slots] = highs[None, :]
+
+        draws = self.rng.integers(draw_lows, draw_highs)
+
+        matrix = np.zeros((NUM_ROWS, count), dtype=np.float64)
+        if neurons:
+            matrix[1, :] = layers
+            matrix[2:6, :] = UNSET
+            if scenario.inj_policy == "per_image":
+                image_index = np.arange(count) // scenario.max_faults_per_image
+                matrix[0, :] = image_index % scenario.batch_size
+        else:
+            matrix[0, :] = layers
+            matrix[3:6, :] = UNSET
+        draw_columns = np.repeat(np.arange(count), col_counts)
+        matrix[draw_rows, draw_columns] = draws
+        return matrix
+
+    def _layer_draw_plan(
+        self, layer_index: int, draw_batch: bool, low_bit: int, high_bit: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rows and integer bounds drawn per column of ``layer_index``.
+
+        Returns ``(rows, lows, highs)`` aligned with the per-column draw
+        order of the reference path.
+        """
+        info = self.fi.get_layer_info(layer_index)
+        rows: list[int] = []
+        lows: list[int] = []
+        highs: list[int] = []
+        if draw_batch:
+            rows.append(0)
+            lows.append(0)
+            highs.append(self.scenario.batch_size)
+        if self.scenario.injection_target == "neurons":
+            shape = info.output_shape
+            if shape is None:
+                raise RuntimeError(
+                    f"layer {info.name} has no recorded output shape; neuron faults need profiling"
+                )
+            if len(shape) == 2:  # (N, features): feature index in the channel row
+                coord_rows = (2,)
+            elif len(shape) == 4:  # (N, C, H, W)
+                coord_rows = (2, 4, 5)
+            elif len(shape) == 5:  # (N, C, D, H, W)
+                coord_rows = (2, 3, 4, 5)
+            else:
+                raise ValueError(f"unsupported output rank {len(shape)} for layer {info.name}")
+        else:
+            shape = info.weight_shape
+            if len(shape) == 2:  # Linear (out_features, in_features)
+                coord_rows = (1, 2)
+            elif len(shape) == 4:  # Conv2d (out, in, kh, kw)
+                coord_rows = (1, 2, 4, 5)
+            elif len(shape) == 5:  # Conv3d (out, in, kd, kh, kw)
+                coord_rows = (1, 2, 3, 4, 5)
+            else:
+                raise ValueError(f"unsupported weight rank {len(shape)} for layer {info.name}")
+        for row, dim in zip(coord_rows, shape[1:] if self.scenario.injection_target == "neurons" else shape):
+            rows.append(row)
+            lows.append(0)
+            highs.append(int(dim))
+        rows.append(6)
+        lows.append(low_bit)
+        highs.append(high_bit + 1)
+        return np.asarray(rows), np.asarray(lows), np.asarray(highs)
 
     def _neuron_column(self, column: int, layer_index: int) -> np.ndarray:
         info = self.fi.get_layer_info(layer_index)

@@ -78,6 +78,11 @@ class InferenceMonitor:
         self.custom_monitors = list(custom_monitors or [])
         self._handles: list[RemovableHandle] = []
         self._current = MonitorResult()
+        # Cheap gate for long-lived monitors: campaign loops keep the hooks
+        # attached for the whole run and flip this flag instead of paying the
+        # per-layer NaN/Inf scan on inferences they do not want monitored
+        # (e.g. the golden pass).
+        self.enabled = True
 
     def add_custom_monitor(self, monitor: CustomMonitor) -> None:
         """Register an additional custom monitoring callback."""
@@ -115,8 +120,20 @@ class InferenceMonitor:
 
     def _make_hook(self, layer_name: str):
         def hook(module, inputs, output):
-            values = np.asarray(output) if not isinstance(output, list) else None
-            if values is not None and np.issubdtype(values.dtype, np.floating):
+            if not self.enabled:
+                return None
+            if isinstance(output, (list, tuple)):
+                # Detection heads return lists of Detections (boxes/scores);
+                # route them through the structured NaN/Inf check so DUEs in
+                # object-detection campaigns are not undercounted.
+                has_nan, has_inf = output_has_nan_or_inf(output)
+                if has_nan:
+                    self._current.nan_layers.append(layer_name)
+                if has_inf:
+                    self._current.inf_layers.append(layer_name)
+                return None
+            values = np.asarray(output)
+            if np.issubdtype(values.dtype, np.floating):
                 if np.isnan(values).any():
                     self._current.nan_layers.append(layer_name)
                 if np.isinf(values).any():

@@ -14,6 +14,13 @@ c) **model outputs** — CSV files for classification models (top-5 classes
 
 :class:`CampaignResultWriter` bundles these writers behind one object so the
 high-level test classes only have to hand over records.
+
+Two modes are offered: the ``write_*`` methods persist a complete list of
+records at once, while the ``stream_*`` methods return incremental writers
+(:class:`CsvRecordStream` / :class:`JsonArrayStream`) that append one record
+at a time.  The campaign engine streams per-inference records as they are
+produced, so campaign memory stays bounded by the batch size instead of the
+dataset size; both modes produce byte-compatible files for the readers.
 """
 
 from __future__ import annotations
@@ -106,6 +113,84 @@ def _json_default(value):
     return str(value)
 
 
+class CsvRecordStream:
+    """Incrementally write CSV rows (one record at a time).
+
+    The header is derived from the first record; closing without having
+    written any record produces an empty file, matching
+    :meth:`CampaignResultWriter.write_classification_csv` with no records.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._writer: csv.DictWriter | None = None
+        self.num_records = 0
+
+    def write(self, record) -> None:
+        """Append one record (anything with ``as_row()``, or a plain dict)."""
+        row = record.as_row() if hasattr(record, "as_row") else dict(record)
+        if self._writer is None:
+            self._handle = open(self.path, "w", newline="", encoding="utf-8")
+            self._writer = csv.DictWriter(self._handle, fieldnames=list(row.keys()))
+            self._writer.writeheader()
+        self._writer.writerow(row)
+        self.num_records += 1
+
+    def close(self) -> None:
+        """Flush and close the file (writes an empty file if no records)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        elif self.num_records == 0:
+            self.path.write_text("")
+
+    def __enter__(self) -> "CsvRecordStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class JsonArrayStream:
+    """Incrementally write a JSON array (one element at a time)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self.num_records = 0
+
+    def write(self, record) -> None:
+        """Append one element (anything with ``as_dict()``, or JSON-able)."""
+        if hasattr(record, "as_dict"):
+            record = record.as_dict()
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle.write("[\n")
+        else:
+            self._handle.write(",\n")
+        blob = json.dumps(_to_plain(record), indent=2, default=_json_default)
+        self._handle.write(blob)
+        self.num_records += 1
+
+    def close(self) -> None:
+        """Terminate the array and close the file (``[]`` if no records)."""
+        if self._handle is not None:
+            self._handle.write("\n]")
+            self._handle.close()
+            self._handle = None
+        elif self.num_records == 0:
+            self.path.write_text("[]")
+
+    def __enter__(self) -> "JsonArrayStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 class CampaignResultWriter:
     """Write the meta / fault / output files of one fault injection campaign.
 
@@ -196,6 +281,21 @@ class CampaignResultWriter:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(_to_plain(kpis), handle, indent=2, default=_json_default)
         return path
+
+    # ------------------------------------------------------------------ #
+    # streaming writers (campaign engine)
+    # ------------------------------------------------------------------ #
+    def stream_classification(self, tag: str = "corrupted") -> CsvRecordStream:
+        """Return an incremental writer for per-inference classification rows."""
+        return CsvRecordStream(self.output_dir / f"{self.campaign_name}_{tag}_results.csv")
+
+    def stream_detection(self, tag: str = "corrupted") -> JsonArrayStream:
+        """Return an incremental writer for per-image detection records."""
+        return JsonArrayStream(self.output_dir / f"{self.campaign_name}_{tag}_results.json")
+
+    def stream_applied_faults(self) -> JsonArrayStream:
+        """Return an incremental writer for the applied-fault log."""
+        return JsonArrayStream(self.output_dir / f"{self.campaign_name}_applied_faults.json")
 
     # ------------------------------------------------------------------ #
     # readers (for analysis / tests)

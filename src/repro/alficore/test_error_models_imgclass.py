@@ -7,6 +7,12 @@ matrix, runs golden / corrupted / optionally hardened inference in lock-step
 over the dataset, monitors NaN/Inf events, writes the three result file sets
 (meta yml, fault binaries, CSV outputs) and finally computes the KPIs
 (top-k accuracy, masked/SDE/DUE rates).
+
+Faulty inference goes through the clone-free fault group sessions: weight
+faults are patched into the original model in place (and restored bit-exactly
+after each group), neuron faults reuse one hooked clone.  The applied-fault
+log is collected per group from the sessions — the injector's shared log is
+no longer grown across campaign iterations.
 """
 
 from __future__ import annotations
@@ -99,6 +105,9 @@ class TestErrorModels_ImgClass:
         self.output_dir = Path(output_dir) if output_dir is not None else None
         self.wrapper: ptfiwrap | None = None
         self.resil_wrapper: ptfiwrap | None = None
+        # Campaign-wide applied-fault log, collected per group from the
+        # clone-free sessions (the injector's shared log stays empty).
+        self.applied_faults: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # campaign entry point
@@ -169,30 +178,26 @@ class TestErrorModels_ImgClass:
         golden_records: list[ClassificationRecord] = []
         resil_records: list[ClassificationRecord] = []
 
-        group_index = 0
+        self.applied_faults = []
+        groups = self.wrapper.get_fault_group_iter()
+        resil_groups = (
+            self.resil_wrapper.get_fault_group_iter() if self.resil_wrapper is not None else None
+        )
         for epoch in range(scenario.num_runs):
             for batch in loader:
                 record = batch[0]
                 image = record.image[None, ...]
                 label = int(record.target)
                 golden_out = np.asarray(self.model(image))
-                # Snapshot the fault log first: weight faults are recorded while
-                # the corrupted model is built, neuron faults during inference.
-                applied_before = len(self.wrapper.fault_injection.applied_faults)
-                corrupted_model = self.wrapper.corrupted_model_for_group(group_index)
-                resil_model = (
-                    self.resil_wrapper.corrupted_model_for_group(group_index)
-                    if self.resil_wrapper is not None
-                    else None
-                )
-                monitor = InferenceMonitor(corrupted_model)
-                with monitor:
-                    corrupted_out = np.asarray(corrupted_model(image))
-                monitor_result = monitor.collect()
-                applied = [
-                    fault.as_dict()
-                    for fault in self.wrapper.fault_injection.applied_faults[applied_before:]
-                ]
+                group = next(groups)
+                with group:
+                    monitor = InferenceMonitor(group.model)
+                    with monitor:
+                        corrupted_out = np.asarray(group.model(image))
+                    monitor_result = monitor.collect()
+                # The sessions log per group: no shared, unbounded fault log.
+                applied = [fault.as_dict() for fault in group.applied_faults]
+                self.applied_faults.extend(applied)
                 out_nan, out_inf = output_has_nan_or_inf(corrupted_out)
                 nan_detected = monitor_result.nan_detected or out_nan
                 inf_detected = monitor_result.inf_detected or out_inf
@@ -210,12 +215,14 @@ class TestErrorModels_ImgClass:
                         record, label, corrupted_out, applied, nan_detected, inf_detected, "corrupted"
                     )
                 )
-                if resil_model is not None:
+                if resil_groups is not None:
                     # The hardened model is judged against its *own* fault-free
                     # baseline, so that range clamping of rare fault-free
                     # activations is not misattributed to the injected fault.
+                    # Its golden pass must run before the patch session opens.
                     resil_golden_logits.append(np.asarray(self.resil_model(image))[0])
-                    resil_out = np.asarray(resil_model(image))
+                    with next(resil_groups) as resil_group:
+                        resil_out = np.asarray(resil_group.model(image))
                     resil_nan, resil_inf = output_has_nan_or_inf(resil_out)
                     resil_logits.append(resil_out[0])
                     resil_records.append(
@@ -223,7 +230,9 @@ class TestErrorModels_ImgClass:
                             record, label, resil_out, applied, resil_nan, resil_inf, "resil"
                         )
                     )
-                group_index += 1
+        groups.close()
+        if resil_groups is not None:
+            resil_groups.close()
 
         golden_arr = np.stack(golden_logits)
         corrupted_arr = np.stack(corrupted_logits)
@@ -293,9 +302,7 @@ class TestErrorModels_ImgClass:
         paths = {
             "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
             "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
-            "applied_faults": str(
-                writer.write_applied_faults([f.as_dict() for f in self.wrapper.fault_injection.applied_faults])
-            ),
+            "applied_faults": str(writer.write_applied_faults(self.applied_faults)),
             "golden_csv": str(writer.write_classification_csv(golden_records, tag="golden")),
             "corrupted_csv": str(writer.write_classification_csv(corrupted_records, tag="corrupted")),
         }

@@ -1,21 +1,32 @@
 """``ptfiwrap`` — the low-level integration wrapper.
 
-This is the object the paper's Listing 1 revolves around::
+This is the object the paper's Listing 1 revolves around.  The clone-free
+campaign flow drives golden and corrupted inference through *fault group
+sessions* — the original model is patched in place per group and restored
+bit-exactly afterwards, so no model copy is ever made::
 
     from repro.alficore import ptfiwrap
 
     wrapper = ptfiwrap(model=net)
-    fault_iter = wrapper.get_fimodel_iter()
+    group_iter = wrapper.get_fault_group_iter()
     for epoch in range(num_runs):
         for image, label in dataset:
-            corrupted_model = next(fault_iter)
-            golden = net(image)
-            corrupted = corrupted_model(image)
+            golden = net(image)              # net is fault-free here
+            with next(group_iter) as group:
+                corrupted = group.model(image)
+            # net is bit-exactly restored; group.applied_faults has the log
+
+For weight faults ``group.model`` *is* the original model with the group's
+corruptions patched in place (restored on exit); for neuron faults it is one
+reusable hooked clone whose active fault group is swapped per step.  The
+higher-level :class:`~repro.alficore.campaign.CampaignRunner` wraps this
+loop, adds monitoring/outcome classification and streams result records to
+disk.  The legacy ``get_fimodel_iter()`` (a fresh corrupted *copy* of the
+model per group, Listing 1 of the paper) remains available.
 
 The wrapper loads the scenario configuration (``scenarios/default.yml`` by
 default), profiles the model, pre-generates the complete fault matrix for
-the campaign, and exposes an iterator that returns the original model with
-the next group of faults applied at each call.  ``get_scenario()`` /
+the campaign, and exposes the iterators above.  ``get_scenario()`` /
 ``set_scenario()`` allow iterative experiments (layer sweeps, fault count
 sweeps, switching between neuron and weight injection) without manual
 reconfiguration: setting a new scenario re-generates the fault matrix.
@@ -23,6 +34,7 @@ reconfiguration: setting a new scenario re-generates the fault matrix.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -32,7 +44,12 @@ from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator
 from repro.alficore.policies import faults_required
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
 from repro.nn.module import Module
-from repro.pytorchfi.core import FaultInjection
+from repro.pytorchfi.core import (
+    FaultInjection,
+    NeuronFaultGroup,
+    NeuronInjectionSession,
+    WeightPatchSession,
+)
 from repro.pytorchfi.errormodels import (
     BitFlipErrorModel,
     ErrorModel,
@@ -180,8 +197,31 @@ class ptfiwrap:
         return list(self.fault_injection.applied_faults)
 
     def num_fault_groups(self) -> int:
-        """Number of fault groups (i.e. faulty models) the matrix provides."""
-        return self.get_fault_matrix().num_faults // self._scenario.max_faults_per_image
+        """Number of fault groups (i.e. faulty models) the matrix provides.
+
+        When a loaded fault file's ``num_faults`` is not a multiple of
+        ``max_faults_per_image`` the trailing columns form a final *partial*
+        group: it is counted (and yielded) rather than silently dropped.
+        """
+        group_size = self._scenario.max_faults_per_image
+        return -(-self.get_fault_matrix().num_faults // group_size)
+
+    def _group_columns(self, group_index: int) -> list[int]:
+        """Fault-matrix columns of one group, clipped to the matrix width."""
+        group_size = self._scenario.max_faults_per_image
+        num_faults = self.get_fault_matrix().num_faults
+        start = group_index * group_size
+        columns = list(range(start, min(start + group_size, num_faults)))
+        if len(columns) < group_size:
+            warnings.warn(
+                f"fault group {group_index} is partial: the fault matrix provides "
+                f"{num_faults} faults, which is not a multiple of "
+                f"max_faults_per_image={group_size}; applying the remaining "
+                f"{len(columns)} fault(s)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return columns
 
     # ------------------------------------------------------------------ #
     # the faulty-model iterator (Listing 1)
@@ -206,19 +246,94 @@ class ptfiwrap:
         return self._model_generator(model_for_faults, cycle)
 
     def _model_generator(self, error_model: ErrorModel, cycle: bool) -> Iterator[Module]:
-        group_size = self._scenario.max_faults_per_image
         while True:
-            matrix = self.get_fault_matrix()
-            total_groups = matrix.num_faults // group_size
-            if self._cursor >= total_groups:
+            if self._cursor >= self.num_fault_groups():
                 if not cycle:
                     return
                 self._cursor = 0
-            columns = list(
-                range(self._cursor * group_size, (self._cursor + 1) * group_size)
-            )
+            columns = self._group_columns(self._cursor)
             self._cursor += 1
             yield self._corrupt_with_columns(columns, error_model)
+
+    # ------------------------------------------------------------------ #
+    # the clone-free fault-group iterator (campaign engine)
+    # ------------------------------------------------------------------ #
+    def get_fault_group_iter(
+        self,
+        error_model: ErrorModel | None = None,
+        cycle: bool = False,
+    ) -> Iterator[WeightPatchSession | NeuronFaultGroup]:
+        """Return an iterator over clone-free fault group sessions.
+
+        Each ``next()`` call consumes the next group of fault columns and
+        returns a context manager with a uniform protocol: ``group.model`` is
+        the faulty model while the context is entered, and
+        ``group.applied_faults`` holds the group's :class:`AppliedFault`
+        records afterwards.  For weight faults the original model is patched
+        in place and restored bit-exactly on exit; for neuron faults a single
+        hooked clone is reused and only the active fault group is swapped.
+
+        Args:
+            error_model: overrides the error model derived from the scenario.
+            cycle: restart from the first fault group after the last one.
+        """
+        error_model = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
+        return self._session_generator(error_model, cycle)
+
+    def _session_generator(
+        self, error_model: ErrorModel, cycle: bool
+    ) -> Iterator[WeightPatchSession | NeuronFaultGroup]:
+        neuron_session: NeuronInjectionSession | None = None
+        try:
+            while True:
+                if self._cursor >= self.num_fault_groups():
+                    if not cycle:
+                        return
+                    self._cursor = 0
+                columns = self._group_columns(self._cursor)
+                self._cursor += 1
+                matrix = self.get_fault_matrix()
+                if self._scenario.injection_target == "neurons":
+                    if neuron_session is None:
+                        neuron_session = self.fault_injection.neuron_injection_session(
+                            error_model=error_model, rng=self._rng
+                        )
+                    yield neuron_session.activate(matrix.to_neuron_faults(columns))
+                else:
+                    yield self.fault_injection.weight_patch_session(
+                        matrix.to_weight_faults(columns), error_model=error_model, rng=self._rng
+                    )
+        finally:
+            if neuron_session is not None:
+                neuron_session.close()
+
+    def fault_group_session(
+        self,
+        group_index: int,
+        error_model: ErrorModel | None = None,
+    ) -> WeightPatchSession | NeuronFaultGroup:
+        """Return the clone-free session for an explicit fault group.
+
+        Like :meth:`corrupted_model_for_group` this does not advance the
+        internal cursor, making it convenient for replaying one group (e.g.
+        against a hardened model).  For neuron faults a dedicated hooked
+        clone is created per call; sequential campaigns should prefer
+        :meth:`get_fault_group_iter`, which reuses one.
+        """
+        total_groups = self.num_fault_groups()
+        if not 0 <= group_index < total_groups:
+            raise IndexError(f"group index {group_index} out of range (0..{total_groups - 1})")
+        error_model = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
+        columns = self._group_columns(group_index)
+        matrix = self.get_fault_matrix()
+        if self._scenario.injection_target == "neurons":
+            session = self.fault_injection.neuron_injection_session(
+                error_model=error_model, rng=self._rng
+            )
+            return session.activate(matrix.to_neuron_faults(columns))
+        return self.fault_injection.weight_patch_session(
+            matrix.to_weight_faults(columns), error_model=error_model, rng=self._rng
+        )
 
     def _corrupt_with_columns(self, columns: list[int], error_model: ErrorModel) -> Module:
         matrix = self.get_fault_matrix()
@@ -243,13 +358,11 @@ class ptfiwrap:
         makes it convenient for replaying a specific fault group against a
         hardened model or for debugging a single fault location.
         """
-        group_size = self._scenario.max_faults_per_image
         total_groups = self.num_fault_groups()
         if not 0 <= group_index < total_groups:
             raise IndexError(f"group index {group_index} out of range (0..{total_groups - 1})")
         error_model = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
-        columns = list(range(group_index * group_size, (group_index + 1) * group_size))
-        return self._corrupt_with_columns(columns, error_model)
+        return self._corrupt_with_columns(self._group_columns(group_index), error_model)
 
     def reset_iterator(self) -> None:
         """Rewind the faulty-model iterator to the first fault group."""

@@ -272,11 +272,24 @@ class Module:
                 yield module, qualified, key
 
     def clone(self) -> "Module":
-        """Return a deep copy of the module (weights included, hooks dropped)."""
-        cloned = copy.deepcopy(self)
-        for module in cloned.modules():
-            module._forward_hooks.clear()
-            module._forward_pre_hooks.clear()
+        """Return a deep copy of the module (weights included, hooks dropped).
+
+        Hooks are detached *before* the deep copy: a registered hook closure
+        may capture arbitrarily large objects (an injector, a monitor, even
+        another model), and deep-copying those along with the weights would be
+        both wasteful and surprising.  The original module keeps its hooks.
+        """
+        stashed: list[tuple[Module, OrderedDict, OrderedDict]] = []
+        for module in self.modules():
+            stashed.append((module, module._forward_hooks, module._forward_pre_hooks))
+            module._forward_hooks = OrderedDict()
+            module._forward_pre_hooks = OrderedDict()
+        try:
+            cloned = copy.deepcopy(self)
+        finally:
+            for module, hooks, pre_hooks in stashed:
+                module._forward_hooks = hooks
+                module._forward_pre_hooks = pre_hooks
         return cloned
 
     def extra_repr(self) -> str:

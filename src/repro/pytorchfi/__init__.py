@@ -14,7 +14,15 @@ This subpackage reproduces that core against the :mod:`repro.nn` substrate:
   replacement.
 """
 
-from repro.pytorchfi.core import FaultInjection, LayerInfo, injectable_layer_types, verify_layer
+from repro.pytorchfi.core import (
+    FaultInjection,
+    LayerInfo,
+    NeuronFaultGroup,
+    NeuronInjectionSession,
+    WeightPatchSession,
+    injectable_layer_types,
+    verify_layer,
+)
 from repro.pytorchfi.errormodels import (
     BitFlipErrorModel,
     ErrorModel,
@@ -28,8 +36,11 @@ __all__ = [
     "ErrorModel",
     "FaultInjection",
     "LayerInfo",
+    "NeuronFaultGroup",
+    "NeuronInjectionSession",
     "RandomValueErrorModel",
     "StuckAtErrorModel",
+    "WeightPatchSession",
     "build_error_model",
     "injectable_layer_types",
     "verify_layer",

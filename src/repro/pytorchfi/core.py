@@ -5,15 +5,26 @@ The core knows how to
 1. *profile* a model: enumerate the injectable layers (conv2d, conv3d and
    fully connected by default), record their weight shapes and — by running a
    dummy forward pass — their output activation shapes;
-2. *inject neuron faults*: attach forward hooks to a copy of the model that
-   corrupt selected output values in place during inference;
-3. *inject weight faults*: patch selected weight elements of a copy of the
-   model before inference.
+2. *inject neuron faults*: attach forward hooks that corrupt selected output
+   values in place during inference;
+3. *inject weight faults*: patch selected weight elements of the model before
+   inference.
 
 Faults are described by explicit coordinates matching Table I of the paper
 (batch, layer, channel, depth, height, width, value).  The *value* row is
 interpreted by the configured error model, either as a literal replacement
 value or as the bit position to flip.
+
+Two execution strategies are offered per injection target:
+
+* the legacy ``declare_*_fault_injection`` methods return a *corrupted clone*
+  of the model (the original is never modified) — simple, but a full deep
+  copy per fault group;
+* the clone-free *sessions* (:class:`WeightPatchSession`,
+  :class:`NeuronInjectionSession`) patch the original model in place and
+  restore the exact original bit patterns on exit, or keep one reusable
+  hooked clone whose active fault group is swapped per step.  These are what
+  the large-scale campaign engine uses.
 """
 
 from __future__ import annotations
@@ -196,7 +207,7 @@ class FaultInjection:
         self.layer_types = tuple(layer_types)
         self.layers: list[LayerInfo] = []
         self._layer_modules: list[str] = []  # qualified module names per layer index
-        self.applied_faults: list[AppliedFault] = []
+        self._applied_fault_groups: list[list[AppliedFault]] = []
         self._profile(use_hooks_for_profiling)
 
     # ------------------------------------------------------------------ #
@@ -229,10 +240,21 @@ class FaultInjection:
             self._record_output_shapes()
 
     def _record_output_shapes(self) -> None:
-        """Run a dummy forward pass to capture each layer's output shape."""
-        probe = self.original_model.clone()
-        probe.eval()
-        handles: list[RemovableHandle] = []
+        """Run a dummy forward pass to capture each layer's output shape.
+
+        The probe hooks are attached to the original model and removed again
+        afterwards; shape recording never mutates weights, so no clone is
+        needed.  Pre-existing user hooks (monitors, loggers) are suspended
+        for the duration of the probe forward so profiling stays free of
+        observable side effects, exactly as the cloned probe used to be.
+        """
+        was_training = self.original_model.training
+        self.original_model.eval()
+        stashed = []
+        for module in self.original_model.modules():
+            stashed.append((module, module._forward_hooks, module._forward_pre_hooks))
+            module._forward_hooks = type(module._forward_hooks)()
+            module._forward_pre_hooks = type(module._forward_pre_hooks)()
         shapes: dict[str, tuple[int, ...]] = {}
 
         def make_hook(layer_name: str):
@@ -243,14 +265,16 @@ class FaultInjection:
             return hook
 
         for info in self.layers:
-            module = probe.get_submodule(info.name)
-            handles.append(module.register_forward_hook(make_hook(info.name)))
+            module = self.original_model.get_submodule(info.name)
+            module.register_forward_hook(make_hook(info.name))
         dummy = np.zeros((self.batch_size, *self.input_shape), dtype=np.float32)
         try:
-            probe(dummy)
+            self.original_model(dummy)
         finally:
-            for handle in handles:
-                handle.remove()
+            for module, hooks, pre_hooks in stashed:
+                module._forward_hooks = hooks
+                module._forward_pre_hooks = pre_hooks
+            self.original_model.train(was_training)
         for info in self.layers:
             info.output_shape = shapes.get(info.name)
 
@@ -308,6 +332,7 @@ class FaultInjection:
         rng = rng if rng is not None else np.random.default_rng(0)
         corrupted = self.original_model.clone()
         corrupted.eval()
+        log = self._new_group_log()
 
         by_layer: dict[int, list[NeuronFault]] = {}
         for fault in faults:
@@ -317,7 +342,7 @@ class FaultInjection:
             info = self.layers[layer_index]
             module = corrupted.get_submodule(info.name)
             module.register_forward_hook(
-                self._make_neuron_hook(info, layer_faults, error_model, rng)
+                self._make_neuron_hook(info, layer_faults, error_model, rng, log)
             )
         return corrupted
 
@@ -327,31 +352,44 @@ class FaultInjection:
         faults: list[NeuronFault],
         error_model: ErrorModel,
         rng: np.random.Generator,
+        log: list[AppliedFault],
     ):
         def hook(module, inputs, output):
             output = np.asarray(output)
             for fault in faults:
-                index = self._neuron_index(output.shape, fault)
-                if index is None:
-                    continue
-                original = float(output[index])
-                corrupted_value, details = self._corrupt_value(original, fault.value, error_model, rng)
-                output[index] = corrupted_value
-                self.applied_faults.append(
-                    AppliedFault(
-                        target="neuron",
-                        layer=info.index,
-                        layer_name=info.name,
-                        coordinates=fault.coordinates(),
-                        bit_position=details.get("bit_position"),
-                        original_value=original,
-                        corrupted_value=corrupted_value,
-                        flip_direction=details.get("flip_direction"),
-                    )
-                )
+                self._corrupt_neuron_at(output, info, fault, error_model, rng, log)
             return output
 
         return hook
+
+    def _corrupt_neuron_at(
+        self,
+        output: np.ndarray,
+        info: LayerInfo,
+        fault: NeuronFault,
+        error_model: ErrorModel,
+        rng: np.random.Generator,
+        log: list[AppliedFault],
+    ) -> None:
+        """Corrupt one neuron of ``output`` in place and record it in ``log``."""
+        index = self._neuron_index(output.shape, fault)
+        if index is None:
+            return
+        original = float(output[index])
+        corrupted_value, details = self._corrupt_value(original, fault.value, error_model, rng)
+        output[index] = corrupted_value
+        log.append(
+            AppliedFault(
+                target="neuron",
+                layer=info.index,
+                layer_name=info.name,
+                coordinates=fault.coordinates(),
+                bit_position=details.get("bit_position"),
+                original_value=original,
+                corrupted_value=corrupted_value,
+                flip_direction=details.get("flip_direction"),
+            )
+        )
 
     def _neuron_index(self, output_shape: tuple[int, ...], fault: NeuronFault) -> tuple | None:
         """Map Table-I coordinates onto an index into the layer output tensor.
@@ -414,27 +452,71 @@ class FaultInjection:
         rng = rng if rng is not None else np.random.default_rng(0)
         corrupted = self.original_model.clone()
         corrupted.eval()
+        log = self._new_group_log()
         for fault in faults:
-            self._apply_weight_fault(corrupted, fault, error_model, rng)
+            info, weight, index = self._locate_weight(corrupted, fault)
+            self._corrupt_weight_at(info, weight, index, fault, error_model, rng, log)
         return corrupted
 
-    def _apply_weight_fault(
+    def weight_patch_session(
         self,
-        model: Module,
-        fault: WeightFault,
-        error_model: ErrorModel,
-        rng: np.random.Generator,
-    ) -> None:
+        faults: Iterable[WeightFault],
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "WeightPatchSession":
+        """Return a clone-free patch session for one weight fault group.
+
+        Entering the session applies the corruptions *in place* on the
+        original model; leaving it restores the exact original bit patterns.
+        Unlike :meth:`declare_weight_fault_injection` no model copy is made
+        and nothing is appended to the shared :attr:`applied_faults` log —
+        the per-group records live on the session object.
+        """
+        faults = list(faults)
+        for fault in faults:
+            if not 0 <= fault.layer < len(self.layers):
+                raise IndexError(f"weight fault addresses unknown layer {fault.layer}")
+        return WeightPatchSession(self, faults, error_model, rng)
+
+    def neuron_injection_session(
+        self,
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "NeuronInjectionSession":
+        """Return a reusable hooked model for clone-free neuron injection.
+
+        The model is cloned and hooked exactly once; the active fault group is
+        swapped per inference step via :meth:`NeuronInjectionSession.activate`
+        instead of re-cloning and re-hooking for every group.
+        """
+        return NeuronInjectionSession(self, error_model, rng)
+
+    def _locate_weight(
+        self, model: Module, fault: WeightFault
+    ) -> tuple[LayerInfo, np.ndarray, tuple]:
+        """Resolve a weight fault to ``(layer_info, weight_array, index)``."""
         if not 0 <= fault.layer < len(self.layers):
             raise IndexError(f"weight fault addresses unknown layer {fault.layer}")
         info = self.layers[fault.layer]
         module = model.get_submodule(info.name)
         weight = module.weight.data
-        index = self._weight_index(weight.shape, fault)
+        return info, weight, self._weight_index(weight.shape, fault)
+
+    def _corrupt_weight_at(
+        self,
+        info: LayerInfo,
+        weight: np.ndarray,
+        index: tuple,
+        fault: WeightFault,
+        error_model: ErrorModel,
+        rng: np.random.Generator,
+        log: list[AppliedFault],
+    ) -> None:
+        """Corrupt one weight element in place and record it in ``log``."""
         original = float(weight[index])
         corrupted_value, details = self._corrupt_value(original, fault.value, error_model, rng)
         weight[index] = corrupted_value
-        self.applied_faults.append(
+        log.append(
             AppliedFault(
                 target="weight",
                 layer=info.index,
@@ -499,6 +581,239 @@ class FaultInjection:
             }
         return error_model.corrupt(original, rng)
 
+    # ------------------------------------------------------------------ #
+    # applied-fault bookkeeping
+    # ------------------------------------------------------------------ #
+    def _new_group_log(self) -> list[AppliedFault]:
+        """Open a fresh per-group log on the shared history and return it."""
+        log: list[AppliedFault] = []
+        self._applied_fault_groups.append(log)
+        return log
+
+    @property
+    def applied_faults(self) -> list[AppliedFault]:
+        """Flat log of every corruption applied via the ``declare_*`` methods.
+
+        The log is grouped internally (one sub-list per ``declare_*`` call,
+        see :meth:`applied_fault_groups`); this property flattens it for
+        backwards compatibility.  Clone-free sessions keep their records on
+        the session object instead, so large campaigns no longer grow this
+        shared log without bound.
+        """
+        return [fault for group in self._applied_fault_groups for fault in group]
+
+    @applied_faults.setter
+    def applied_faults(self, value: Iterable[AppliedFault]) -> None:
+        value = list(value)
+        self._applied_fault_groups = [value] if value else []
+
+    def applied_fault_groups(self) -> list[list[AppliedFault]]:
+        """Per-fault-group view of the applied log (one list per declare call)."""
+        return [list(group) for group in self._applied_fault_groups]
+
     def reset(self) -> None:
         """Clear the applied-fault log (e.g. between experiment repetitions)."""
-        self.applied_faults = []
+        self._applied_fault_groups = []
+
+
+class WeightPatchSession:
+    """Apply one weight fault group in place and restore it bit-exactly.
+
+    The campaign engine's clone-free replacement for
+    :meth:`FaultInjection.declare_weight_fault_injection`: instead of deep
+    copying the model per fault group, the original weights are patched in
+    place on ``__enter__`` and the exact original bit patterns are written
+    back on ``__exit__`` (the saved values are numpy scalars of the weight's
+    own dtype, so the restore is bit-exact even for NaN/Inf corruptions).
+
+    Usage::
+
+        with fi.weight_patch_session(faults) as session:
+            corrupted_output = session.model(batch)
+        # session.model (the original model) is bit-exactly restored here
+        records = session.applied_faults
+
+    Attributes:
+        model: the patched model — the *original* model instance.
+        applied_faults: per-group :class:`AppliedFault` records (populated on
+            enter; weights are static, so no inference is needed).
+    """
+
+    def __init__(
+        self,
+        fi: FaultInjection,
+        faults: list[WeightFault],
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self._fi = fi
+        self._faults = list(faults)
+        self._error_model = error_model if error_model is not None else BitFlipErrorModel()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.model = fi.original_model
+        self.applied_faults: list[AppliedFault] = []
+        self._saved: list[tuple[np.ndarray, tuple, np.generic]] = []
+        # Corruptions computed on first enter, replayed verbatim afterwards so
+        # re-entering the session (e.g. per-epoch campaigns running the same
+        # group for every batch) applies identical values even for stochastic
+        # error models.
+        self._replay: list[tuple[np.ndarray, tuple, np.generic]] | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the faults are patched into the model."""
+        return bool(self._saved)
+
+    def __enter__(self) -> "WeightPatchSession":
+        if self._saved:
+            raise RuntimeError("weight patch session is already active")
+        try:
+            if self._replay is not None:
+                for weight, index, corrupted_value in self._replay:
+                    self._saved.append((weight, index, weight[index]))
+                    weight[index] = corrupted_value
+                return self
+            self.applied_faults = []
+            replay: list[tuple[np.ndarray, tuple, np.generic]] = []
+            for fault in self._faults:
+                info, weight, index = self._fi._locate_weight(self.model, fault)
+                # ``weight[index]`` yields a numpy scalar of the array's dtype:
+                # restoring it by assignment reproduces the original bit pattern.
+                self._saved.append((weight, index, weight[index]))
+                self._fi._corrupt_weight_at(
+                    info, weight, index, fault, self._error_model, self._rng, self.applied_faults
+                )
+                replay.append((weight, index, weight[index]))
+            self._replay = replay
+            return self
+        except BaseException:
+            # __exit__ never runs when __enter__ raises: undo the partial
+            # patch here so the bit-exact-restore guarantee still holds.
+            self.restore()
+            raise
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.restore()
+
+    def restore(self) -> None:
+        """Write the saved original bit patterns back (reverse order)."""
+        while self._saved:
+            weight, index, original = self._saved.pop()
+            weight[index] = original
+
+
+class NeuronInjectionSession:
+    """A reusable hooked model for clone-free neuron fault injection.
+
+    The model is cloned and hooked exactly *once*; afterwards the active
+    fault group is swapped per inference step via :meth:`activate` instead of
+    re-cloning and re-hooking for every group (the per-step cost drops from a
+    full model deep copy to a dictionary update).
+
+    Usage::
+
+        session = fi.neuron_injection_session()
+        for faults in fault_groups:
+            with session.activate(faults) as group:
+                corrupted_output = group.model(batch)
+            records = group.applied_faults
+        session.close()
+
+    The session itself is also a context manager (``close`` on exit).
+    """
+
+    def __init__(
+        self,
+        fi: FaultInjection,
+        error_model: ErrorModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self._fi = fi
+        self._error_model = error_model if error_model is not None else BitFlipErrorModel()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.model = fi.original_model.clone()
+        self.model.eval()
+        self._active: dict[int, list[NeuronFault]] = {}
+        self._log: list[AppliedFault] = []
+        self._handles: list[RemovableHandle] = []
+        for info in fi.layers:
+            module = self.model.get_submodule(info.name)
+            self._handles.append(module.register_forward_hook(self._make_hook(info)))
+
+    def _make_hook(self, info: LayerInfo):
+        def hook(module, inputs, output):
+            faults = self._active.get(info.index)
+            if not faults:
+                return None
+            output = np.asarray(output)
+            for fault in faults:
+                self._fi._corrupt_neuron_at(
+                    output, info, fault, self._error_model, self._rng, self._log
+                )
+            return output
+
+        return hook
+
+    def set_faults(self, faults: Iterable[NeuronFault]) -> Module:
+        """Make ``faults`` the active group and return the hooked model."""
+        faults = list(faults)
+        active: dict[int, list[NeuronFault]] = {}
+        for fault in faults:
+            self._fi._validate_neuron_fault(fault)
+            active.setdefault(fault.layer, []).append(fault)
+        self._active = active
+        return self.model
+
+    def clear_faults(self) -> None:
+        """Deactivate the current fault group (the model runs fault-free)."""
+        self._active = {}
+
+    def collect_applied(self) -> list[AppliedFault]:
+        """Return and clear the records accumulated since the last collect."""
+        log, self._log = self._log, []
+        return log
+
+    def activate(self, faults: Iterable[NeuronFault]) -> "NeuronFaultGroup":
+        """Return a context manager scoping one fault group on this session."""
+        return NeuronFaultGroup(self, list(faults))
+
+    def close(self) -> None:
+        """Remove the injection hooks (the session becomes inert)."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles = []
+        self._active = {}
+
+    def __enter__(self) -> "NeuronInjectionSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NeuronFaultGroup:
+    """One fault group activated on a shared :class:`NeuronInjectionSession`.
+
+    Mirrors the :class:`WeightPatchSession` protocol (``model`` /
+    ``applied_faults`` / context manager) so campaign loops can treat both
+    injection targets uniformly.
+    """
+
+    def __init__(self, session: NeuronInjectionSession, faults: list[NeuronFault]):
+        self._session = session
+        self._faults = faults
+        self.applied_faults: list[AppliedFault] = []
+
+    @property
+    def model(self) -> Module:
+        """The session's reusable hooked model."""
+        return self._session.model
+
+    def __enter__(self) -> "NeuronFaultGroup":
+        self._session.set_faults(self._faults)
+        # Bind the session log to this group so hook records land here.
+        self.applied_faults = self._session._log = []
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._session.clear_faults()

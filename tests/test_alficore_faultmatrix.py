@@ -176,3 +176,79 @@ class TestPersistence:
         ):
             assert name_a == name_b
             np.testing.assert_array_equal(param_a.data, param_b.data)
+
+
+class TestVectorizedGeneration:
+    """Satellite: vectorized generator vs the per-column reference path."""
+
+    @pytest.mark.parametrize("target", ["neurons", "weights"])
+    def test_vectorized_bit_identical_to_percolumn(self, lenet_fi, target):
+        scenario = default_scenario(
+            dataset_size=40, max_faults_per_image=3, injection_target=target, random_seed=31
+        )
+        vectorized = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        percolumn = FaultMatrixGenerator(lenet_fi, scenario).generate(method="percolumn")
+        np.testing.assert_array_equal(vectorized.matrix, percolumn.matrix)
+
+    @pytest.mark.parametrize("policy", ["per_image", "per_batch", "per_epoch"])
+    def test_identity_holds_across_policies_and_batches(self, lenet_fi, policy):
+        scenario = default_scenario(
+            dataset_size=20,
+            injection_target="neurons",
+            inj_policy=policy,
+            batch_size=4,
+            random_seed=5,
+        )
+        vectorized = FaultMatrixGenerator(lenet_fi, scenario).generate(60)
+        percolumn = FaultMatrixGenerator(lenet_fi, scenario).generate(60, method="percolumn")
+        np.testing.assert_array_equal(vectorized.matrix, percolumn.matrix)
+
+    def test_number_value_type_uses_reference_path(self, lenet_fi):
+        scenario = default_scenario(
+            dataset_size=10, injection_target="weights", rnd_value_type="number", random_seed=9
+        )
+        vectorized = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        percolumn = FaultMatrixGenerator(lenet_fi, scenario).generate(method="percolumn")
+        np.testing.assert_array_equal(vectorized.matrix, percolumn.matrix)
+
+    def test_unknown_method_rejected(self, lenet_fi):
+        with pytest.raises(ValueError):
+            FaultMatrixGenerator(lenet_fi, default_scenario(dataset_size=2)).generate(method="magic")
+
+    @pytest.mark.parametrize("target", ["neurons", "weights"])
+    def test_save_load_round_trip_per_target(self, lenet_fi, tmp_path, target):
+        scenario = default_scenario(dataset_size=15, injection_target=target, random_seed=13)
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate()
+        path = matrix.save(tmp_path / f"{target}_faults.npz")
+        loaded = FaultMatrix.load(path)
+        assert loaded == matrix
+        assert loaded.injection_target == target
+        np.testing.assert_array_equal(loaded.matrix, matrix.matrix)
+
+    def test_partial_group_iteration_after_reload(self, lenet_model, lenet_fi, tmp_path):
+        """A reloaded matrix whose width is not a multiple of the group size
+
+        must still be consumed completely (final partial group included)."""
+        from repro.alficore import ptfiwrap
+
+        scenario = default_scenario(dataset_size=7, injection_target="weights", random_seed=17)
+        matrix = FaultMatrixGenerator(lenet_fi, scenario).generate(7)
+        path = matrix.save(tmp_path / "seven_faults.npz")
+
+        replay = default_scenario(
+            dataset_size=4,
+            max_faults_per_image=3,
+            injection_target="weights",
+            fault_file=str(path),
+            random_seed=17,
+        )
+        wrapper = ptfiwrap(lenet_model, scenario=replay)
+        assert wrapper.num_fault_groups() == 3  # 3 + 3 + 1 (partial)
+        with pytest.warns(RuntimeWarning, match="partial"):
+            sessions = list(wrapper.get_fault_group_iter())
+        assert len(sessions) == 3
+        applied_counts = []
+        for session in sessions:
+            with session:
+                applied_counts.append(len(session.applied_faults))
+        assert applied_counts == [3, 3, 1]

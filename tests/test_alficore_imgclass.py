@@ -49,8 +49,10 @@ class TestClassificationCampaign:
         )
         output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1)
         assert output.corrupted.num_inferences == len(dataset)
-        # Every inference must have applied exactly one neuron fault.
-        assert len(runner.wrapper.fault_injection.applied_faults) == len(dataset)
+        # Every inference must have applied exactly one neuron fault.  The
+        # sessions log per group; the injector's shared log must stay empty.
+        assert len(runner.applied_faults) == len(dataset)
+        assert runner.wrapper.fault_injection.applied_faults == []
 
     def test_output_files_written(self, fitted_model_and_dataset, tmp_path):
         model, dataset = fitted_model_and_dataset

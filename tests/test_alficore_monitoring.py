@@ -126,3 +126,72 @@ class TestOutputNanInfCheck:
     def test_empty_output(self):
         assert output_has_nan_or_inf(np.zeros((0,))) == (False, False)
         assert output_has_nan_or_inf([Detection()]) == (False, False)
+
+
+class TestListOutputMonitoring:
+    """Regression: list/tuple layer outputs must not bypass DUE detection."""
+
+    class _DetectionHead(nn.Module):
+        def __init__(self, payload):
+            super().__init__()
+            self.payload = payload
+
+        def forward(self, x):
+            return self.payload
+
+    def test_list_of_detections_with_nan_boxes_detected(self):
+        detections = [Detection(boxes=np.array([[0.0, 0.0, np.nan, 1.0]]),
+                                scores=np.array([0.9]),
+                                labels=np.array([1]))]
+        head = self._DetectionHead(detections).eval()
+        model = nn.Sequential(head).eval()
+        monitor = InferenceMonitor(model)
+        with monitor:
+            model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert result.nan_detected
+        assert result.due_detected
+
+    def test_list_of_detections_with_inf_scores_detected(self):
+        detections = [Detection(boxes=np.array([[0.0, 0.0, 1.0, 1.0]]),
+                                scores=np.array([np.inf]),
+                                labels=np.array([1]))]
+        model = nn.Sequential(self._DetectionHead(detections)).eval()
+        monitor = InferenceMonitor(model)
+        with monitor:
+            model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert result.inf_detected
+
+    def test_clean_list_output_reports_nothing(self):
+        detections = [Detection(boxes=np.array([[0.0, 0.0, 1.0, 1.0]]),
+                                scores=np.array([0.5]),
+                                labels=np.array([0]))]
+        model = nn.Sequential(self._DetectionHead(detections)).eval()
+        monitor = InferenceMonitor(model)
+        with monitor:
+            model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert not result.due_detected
+
+    def test_tuple_output_with_nan_detected(self):
+        payload = (np.array([1.0, 2.0]), np.array([np.nan]))
+        model = nn.Sequential(self._DetectionHead(payload)).eval()
+        monitor = InferenceMonitor(model)
+        with monitor:
+            model(np.ones((1, 4), dtype=np.float32))
+            result = monitor.collect()
+        assert result.nan_detected
+
+
+class TestMonitorEnableGate:
+    def test_disabled_monitor_records_nothing(self, simple_model):
+        monitor = InferenceMonitor(simple_model)
+        monitor.attach()
+        monitor.enabled = False
+        simple_model(np.array([[np.nan, 1.0, 1.0, 1.0]], dtype=np.float32))
+        assert not monitor.collect().due_detected
+        monitor.enabled = True
+        simple_model(np.array([[np.nan, 1.0, 1.0, 1.0]], dtype=np.float32))
+        assert monitor.collect().nan_detected
+        monitor.detach()

@@ -122,3 +122,54 @@ class TestDetectionJson:
     def test_read_missing_detection_tag(self, writer):
         with pytest.raises(FileNotFoundError):
             writer.read_detection_json(tag="missing")
+
+
+class TestStreamingWriters:
+    def test_streamed_csv_matches_batch_writer(self, writer, sample_classification_records, tmp_path):
+        batch_path = writer.write_classification_csv(sample_classification_records, tag="batch")
+        with writer.stream_classification(tag="streamed") as stream:
+            for record in sample_classification_records:
+                stream.write(record)
+        assert stream.num_records == len(sample_classification_records)
+        streamed_rows = writer.read_classification_csv("streamed")
+        batch_rows = writer.read_classification_csv("batch")
+        assert streamed_rows == batch_rows
+        assert batch_path.read_text().splitlines()[0] == \
+            (writer.output_dir / "unit_streamed_results.csv").read_text().splitlines()[0]
+
+    def test_streamed_csv_empty_produces_empty_file(self, writer):
+        with writer.stream_classification(tag="nothing"):
+            pass
+        path = writer.output_dir / "unit_nothing_results.csv"
+        assert path.exists()
+        assert path.read_text() == ""
+
+    def test_streamed_detection_json_readable(self, writer):
+        records = [
+            DetectionRecord(
+                image_id=i,
+                file_name=f"img_{i}.png",
+                boxes=[[0.0, 0.0, 1.0, 1.0]],
+                scores=[0.5],
+                labels=[1],
+            )
+            for i in range(3)
+        ]
+        with writer.stream_detection(tag="streamed") as stream:
+            for record in records:
+                stream.write(record)
+        loaded = writer.read_detection_json("streamed")
+        assert len(loaded) == 3
+        assert loaded[0]["image_id"] == 0
+
+    def test_streamed_empty_json_is_valid(self, writer):
+        with writer.stream_applied_faults():
+            pass
+        path = writer.output_dir / "unit_applied_faults.json"
+        assert json.loads(path.read_text()) == []
+
+    def test_streamed_applied_faults_handles_numpy_types(self, writer):
+        with writer.stream_applied_faults() as stream:
+            stream.write({"layer": np.int64(3), "original_value": np.float32(0.25)})
+        loaded = json.loads((writer.output_dir / "unit_applied_faults.json").read_text())
+        assert loaded == [{"layer": 3, "original_value": 0.25}]

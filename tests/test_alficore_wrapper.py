@@ -158,3 +158,87 @@ class TestFaultMatrixReuse:
         path = neuron_wrapper.save_fault_matrix(tmp_path / "neuron_faults.npz")
         with pytest.raises(ValueError):
             ptfiwrap(lenet_model, scenario=weight_scenario.copy(fault_file=str(path)))
+
+
+class TestPartialFaultGroups:
+    """Regression: trailing fault columns must not be silently dropped."""
+
+    def _wrapper_with_seven_faults(self, lenet_model, tmp_path):
+        generate_scenario = default_scenario(dataset_size=7, injection_target="weights", random_seed=21)
+        wrapper = ptfiwrap(lenet_model, scenario=generate_scenario)
+        path = wrapper.save_fault_matrix(tmp_path / "seven.npz")
+        replay = default_scenario(
+            dataset_size=3,
+            max_faults_per_image=3,
+            injection_target="weights",
+            fault_file=str(path),
+            random_seed=21,
+        )
+        return ptfiwrap(lenet_model, scenario=replay)
+
+    def test_num_fault_groups_counts_partial_group(self, lenet_model, tmp_path):
+        wrapper = self._wrapper_with_seven_faults(lenet_model, tmp_path)
+        assert wrapper.get_fault_matrix().num_faults == 7
+        assert wrapper.num_fault_groups() == 3  # 3 + 3 + 1, not 7 // 3 == 2
+
+    def test_iterator_yields_final_partial_group_with_warning(self, lenet_model, tmp_path):
+        wrapper = self._wrapper_with_seven_faults(lenet_model, tmp_path)
+        iterator = wrapper.get_fimodel_iter()
+        next(iterator)
+        next(iterator)
+        with pytest.warns(RuntimeWarning, match="partial"):
+            last = next(iterator)
+        assert len(wrapper.fault_injection.applied_fault_groups()[-1]) == 1
+        golden_state = lenet_model.state_dict()
+        changed = [
+            key
+            for key in golden_state
+            if not np.array_equal(golden_state[key], last.state_dict()[key])
+        ]
+        assert len(changed) == 1
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_session_iterator_yields_partial_group(self, lenet_model, tmp_path):
+        wrapper = self._wrapper_with_seven_faults(lenet_model, tmp_path)
+        with pytest.warns(RuntimeWarning, match="partial"):
+            counts = []
+            for group in wrapper.get_fault_group_iter():
+                with group:
+                    counts.append(len(group.applied_faults))
+        assert counts == [3, 3, 1]
+
+    def test_exact_multiple_emits_no_warning(self, lenet_model, recwarn):
+        wrapper = ptfiwrap(
+            lenet_model,
+            scenario=default_scenario(dataset_size=4, max_faults_per_image=2, injection_target="weights"),
+        )
+        models = list(wrapper.get_fimodel_iter())
+        assert len(models) == wrapper.num_fault_groups() == 4
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+
+class TestFaultGroupSessions:
+    def test_fault_group_session_is_repeatable(self, lenet_model, weight_scenario):
+        wrapper = ptfiwrap(lenet_model, scenario=weight_scenario)
+        with wrapper.fault_group_session(2) as first:
+            bits_first = [f.corrupted_value for f in first.applied_faults]
+        with wrapper.fault_group_session(2) as second:
+            bits_second = [f.corrupted_value for f in second.applied_faults]
+        assert bits_first == bits_second
+
+    def test_fault_group_session_bounds(self, lenet_model, weight_scenario):
+        wrapper = ptfiwrap(lenet_model, scenario=weight_scenario)
+        with pytest.raises(IndexError):
+            wrapper.fault_group_session(9999)
+
+    def test_session_iter_matches_clone_iter_outputs(self, lenet_model, small_images, weight_scenario):
+        wrapper_a = ptfiwrap(lenet_model, scenario=weight_scenario)
+        wrapper_b = ptfiwrap(lenet_model, scenario=weight_scenario)
+        clones = wrapper_a.get_fimodel_iter()
+        sessions = wrapper_b.get_fault_group_iter()
+        for _ in range(3):
+            expected = next(clones)(small_images)
+            with next(sessions) as group:
+                actual = group.model(small_images)
+            np.testing.assert_array_equal(expected, actual)
