@@ -34,7 +34,15 @@ from repro.alficore.analysis import (
     analyze_detection_campaign,
     compare_campaigns,
 )
-from repro.alficore.campaign import CampaignRunner, CampaignSummary
+from repro.alficore.campaign import (
+    CampaignCore,
+    CampaignRunner,
+    CampaignSummary,
+    CampaignTask,
+    ClassificationTask,
+    DetectionTask,
+    ShardedCampaignExecutor,
+)
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario, save_scenario
 from repro.alficore.layerweights import layer_weight_factors, weighted_layer_choice
 from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator, NEURON_ROWS, WEIGHT_ROWS
@@ -48,9 +56,14 @@ from repro.alficore.test_error_models_objdet import TestErrorModels_ObjDet
 
 __all__ = [
     "CampaignAnalysis",
+    "CampaignCore",
     "CampaignResultWriter",
     "CampaignRunner",
     "CampaignSummary",
+    "CampaignTask",
+    "ClassificationTask",
+    "DetectionTask",
+    "ShardedCampaignExecutor",
     "analyze_classification_campaign",
     "analyze_detection_campaign",
     "compare_campaigns",

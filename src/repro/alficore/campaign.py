@@ -1,37 +1,56 @@
-"""Clone-free campaign engine.
+"""Task-pluggable clone-free campaign core with sharded parallel execution.
 
-:class:`CampaignRunner` drives a complete classification fault-injection
-campaign over a metadata-enriched data loader without ever copying the model:
+The campaign engine is split into three layers:
 
-* golden and faulty inference run batch-wise in lock-step; the faulty pass
-  goes through the wrapper's clone-free fault group sessions
-  (:meth:`~repro.alficore.wrapper.ptfiwrap.get_fault_group_iter`), so weight
-  faults are patched in place and restored bit-exactly after every group and
-  neuron faults reuse one hooked model whose active group is swapped per step;
-* an :class:`~repro.alficore.monitoring.InferenceMonitor` watches the faulty
-  model's intermediate activations for NaN/Inf events (DUE detection);
-* every inference is classified masked / SDE / DUE against its golden run via
-  :mod:`repro.eval.sdc`;
-* per-inference result records and the applied-fault log are *streamed* to
-  :class:`~repro.alficore.results.CampaignResultWriter` as they are produced
-  instead of being accumulated in memory, so campaign memory stays bounded by
-  the batch size, not the dataset size.
+* :class:`CampaignCore` owns everything that is identical for every workload:
+  the golden/faulty lock-step loop over the clone-free fault group sessions
+  (:meth:`~repro.alficore.wrapper.ptfiwrap.get_fault_group_iter`), session
+  handling for the primary and the optional hardened ("resil") model lane,
+  attach-once monitor caching (:class:`~repro.alficore.monitoring.MonitorCache`)
+  and the streamed-record plumbing.  The core never interprets model outputs.
+* :class:`CampaignTask` adapters interpret outputs per workload.
+  :class:`ClassificationTask` classifies each inference masked / SDE / DUE
+  against its golden top-1 and streams CSV rows;  :class:`DetectionTask`
+  collects per-image predictions for IVMOD / mAP evaluation and streams
+  detection JSON records.  Both keep a picklable aggregate ``state`` so shard
+  workers can ship partial results back to the parent process.
+* :class:`ShardedCampaignExecutor` partitions a campaign into contiguous
+  ``(epoch, fault-group, dataset-index)`` shards, runs them through a
+  ``multiprocessing`` pool (or sequentially in-process for ``workers=1``),
+  streams per-shard result files and merges shard tallies and record files
+  deterministically — the merged output is byte-identical to a single-process
+  run of the same seed, because every fault corruption is pre-drawn in the
+  fault matrix and the loader's epoch permutations depend only on
+  ``(seed, epoch)``.
 
-Only aggregate KPIs (accuracies, outcome rates) are kept in memory and
-returned as a :class:`CampaignSummary`.
+:class:`CampaignRunner` keeps its PR-1 interface: a classification campaign
+runner with O(batch) memory whose records are *streamed* to
+:class:`~repro.alficore.results.CampaignResultWriter` while only aggregate
+KPIs are kept and returned as a :class:`CampaignSummary`.  It is now a thin
+facade over ``CampaignCore`` + ``ClassificationTask`` and gained ``workers``
+/ ``num_shards`` for parallel execution.
 """
 
 from __future__ import annotations
 
+import copy
+import multiprocessing
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.alficore.monitoring import InferenceMonitor
+from repro.alficore.monitoring import MonitorCache, MonitorResult
 from repro.alficore.policies import InjectionPolicy
-from repro.alficore.results import CampaignResultWriter, ClassificationRecord
+from repro.alficore.results import (
+    CampaignResultWriter,
+    ClassificationRecord,
+    DetectionRecord,
+    merge_csv_files,
+    merge_json_array_files,
+)
 from repro.alficore.scenario import ScenarioConfig, default_scenario
 from repro.alficore.wrapper import ptfiwrap
 from repro.data.wrapper import AlfiDataLoaderWrapper, ImageRecord
@@ -76,30 +95,827 @@ class CampaignSummary:
         }
 
 
-class _Tally:
-    """Running aggregates of a streamed campaign (O(1) memory)."""
+def normalize_campaign_scenario(scenario: ScenarioConfig | None, dataset) -> ScenarioConfig:
+    """Align a scenario with the dataset and the per-image batch convention.
 
-    def __init__(self):
-        self.inferences = 0
-        self.golden_top1_hits = 0
-        self.golden_top5_hits = 0
-        self.corrupted_top1_hits = 0
-        self.outcomes: Counter = Counter()
-        self.applied_faults = 0
-        self.groups = 0
+    ``dataset_size`` is matched to the dataset, and ``per_image`` campaigns
+    run with ``batch_size=1`` (the paper's convention: one fault group per
+    image).
+    """
+    scenario = scenario if scenario is not None else default_scenario()
+    overrides: dict = {}
+    if scenario.dataset_size != len(dataset):
+        overrides["dataset_size"] = len(dataset)
+    if scenario.inj_policy == "per_image" and scenario.batch_size != 1:
+        overrides["batch_size"] = 1
+    return scenario.copy(**overrides) if overrides else scenario
 
 
+@dataclass
+class StepContext:
+    """Everything one lock-step golden/faulty step hands to the task."""
+
+    batch: list[ImageRecord]
+    epoch: int
+    step: int
+    group_index: int
+    golden: object
+    corrupted: object
+    applied: list[dict]
+    monitor: MonitorResult
+    collect_applied: bool
+    resil_golden: object | None = None
+    resil: object | None = None
+
+
+class CampaignTask:
+    """Per-batch evaluation plug-in for :class:`CampaignCore`.
+
+    A task interprets model outputs for one workload: it opens the workload's
+    record streams in :meth:`begin`, folds every :class:`StepContext` into a
+    picklable aggregate ``state`` in :meth:`consume` (streaming per-inference
+    records as they are produced), and closes the streams in :meth:`end`.
+    ``state`` objects of shards are combined with :meth:`merge_states` in
+    shard order, which must reproduce the state of an unsharded run.
+    """
+
+    name = "task"
+
+    def fresh(self) -> "CampaignTask":
+        """Return an unstarted copy for a shard worker (configuration only)."""
+        clone = copy.deepcopy(self)
+        clone.reset()
+        return clone
+
+    def reset(self) -> None:
+        """Drop accumulated state (start of a new run)."""
+        raise NotImplementedError
+
+    def begin(self, writer: CampaignResultWriter | None, resil: bool = False) -> dict[str, str]:
+        """Open record streams; return ``{tag: path}`` of the stream files."""
+        return {}
+
+    def infer(self, model: Module, images: np.ndarray, batch: list[ImageRecord]):
+        """Run one forward pass (identical for the golden and faulty lanes)."""
+        return model(images)
+
+    def consume(self, ctx: StepContext) -> None:
+        """Fold one step's outputs into the aggregate state and streams."""
+        raise NotImplementedError
+
+    def end(self) -> None:
+        """Close the record streams opened by :meth:`begin`."""
+
+    @staticmethod
+    def merge_states(states: list):
+        """Combine shard states (in shard order) into one campaign state."""
+        raise NotImplementedError
+
+
+def _close_streams(streams: dict) -> None:
+    for stream in streams.values():
+        stream.close()
+
+
+# --------------------------------------------------------------------------- #
+# classification task
+# --------------------------------------------------------------------------- #
+@dataclass
+class ClassificationState:
+    """Picklable aggregates of a (possibly sharded) classification campaign."""
+
+    inferences: int = 0
+    groups: int = 0
+    applied_faults: int = 0
+    golden_top1_hits: int = 0
+    golden_top5_hits: int = 0
+    corrupted_top1_hits: int = 0
+    outcomes: Counter = field(default_factory=Counter)
+    # Buffers below are only filled with ``collect_outputs=True`` (the
+    # ``TestErrorModels_ImgClass`` facade needs raw logits for its output).
+    golden_logits: list = field(default_factory=list)
+    corrupted_logits: list = field(default_factory=list)
+    resil_golden_logits: list = field(default_factory=list)
+    resil_logits: list = field(default_factory=list)
+    labels: list = field(default_factory=list)
+    due_flags: list = field(default_factory=list)
+    applied_log: list = field(default_factory=list)
+
+
+class ClassificationTask(CampaignTask):
+    """Masked / SDE / DUE classification of each inference vs its golden run.
+
+    Args:
+        collect_outputs: additionally buffer raw logits, labels, DUE flags
+            and the applied-fault log in ``state`` (needed by the
+            ``TestErrorModels_ImgClass`` facade; the streaming
+            :class:`CampaignRunner` keeps this off for O(batch) memory).
+    """
+
+    name = "classification"
+
+    def __init__(self, collect_outputs: bool = False):
+        self.collect_outputs = collect_outputs
+        self.state = ClassificationState()
+        self._streams: dict = {}
+
+    def reset(self) -> None:
+        self.state = ClassificationState()
+        self._streams = {}
+
+    def begin(self, writer: CampaignResultWriter | None, resil: bool = False) -> dict[str, str]:
+        self._streams = {}
+        if writer is None:
+            return {}
+        self._streams["golden_csv"] = writer.stream_classification("golden")
+        self._streams["corrupted_csv"] = writer.stream_classification("corrupted")
+        if resil:
+            self._streams["resil_csv"] = writer.stream_classification("resil")
+        self._streams["applied_faults"] = writer.stream_applied_faults()
+        return {tag: str(stream.path) for tag, stream in self._streams.items()}
+
+    def infer(self, model: Module, images: np.ndarray, batch: list[ImageRecord]) -> np.ndarray:
+        return np.asarray(model(images))
+
+    def consume(self, ctx: StepContext) -> None:
+        state = self.state
+        golden_out = np.asarray(ctx.golden)
+        corrupted_out = np.asarray(ctx.corrupted)
+        if ctx.collect_applied:
+            state.groups += 1
+            state.applied_faults += len(ctx.applied)
+            if self.collect_outputs:
+                state.applied_log.extend(ctx.applied)
+            stream = self._streams.get("applied_faults")
+            if stream is not None:
+                for entry in ctx.applied:
+                    stream.write(entry)
+
+        golden_classes, golden_probs = top_k_predictions(golden_out, k=5)
+        corrupted_classes, corrupted_probs = top_k_predictions(corrupted_out, k=5)
+        for i, record in enumerate(ctx.batch):
+            label = int(record.target)
+            # Monitor events are batch-scoped; per-image output NaN/Inf adds
+            # image resolution on top (for batch_size=1 they coincide).
+            nan_detected = ctx.monitor.nan_detected or bool(np.isnan(corrupted_out[i]).any())
+            inf_detected = ctx.monitor.inf_detected or bool(np.isinf(corrupted_out[i]).any())
+            outcome = classify_classification_outcome(
+                int(golden_classes[i, 0]),
+                int(corrupted_classes[i, 0]),
+                nan_detected or inf_detected,
+            )
+            state.inferences += 1
+            state.outcomes[outcome] += 1
+            state.golden_top1_hits += int(golden_classes[i, 0] == label)
+            state.golden_top5_hits += int(label in golden_classes[i])
+            state.corrupted_top1_hits += int(corrupted_classes[i, 0] == label)
+            if self.collect_outputs:
+                state.golden_logits.append(golden_out[i])
+                state.corrupted_logits.append(corrupted_out[i])
+                state.labels.append(label)
+                state.due_flags.append(bool(nan_detected or inf_detected))
+            self._write_row(
+                "golden_csv", record, label, golden_classes[i], golden_probs[i], [], False, False, "golden"
+            )
+            self._write_row(
+                "corrupted_csv", record, label, corrupted_classes[i], corrupted_probs[i],
+                ctx.applied, nan_detected, inf_detected, "corrupted",
+            )
+        if ctx.resil is not None:
+            self._consume_resil(ctx)
+
+    def _consume_resil(self, ctx: StepContext) -> None:
+        state = self.state
+        resil_out = np.asarray(ctx.resil)
+        resil_golden_out = np.asarray(ctx.resil_golden)
+        resil_classes, resil_probs = top_k_predictions(resil_out, k=5)
+        for i, record in enumerate(ctx.batch):
+            label = int(record.target)
+            resil_nan = bool(np.isnan(resil_out[i]).any())
+            resil_inf = bool(np.isinf(resil_out[i]).any())
+            if self.collect_outputs:
+                state.resil_golden_logits.append(resil_golden_out[i])
+                state.resil_logits.append(resil_out[i])
+            self._write_row(
+                "resil_csv", record, label, resil_classes[i], resil_probs[i],
+                ctx.applied, resil_nan, resil_inf, "resil",
+            )
+
+    def _write_row(
+        self,
+        tag: str,
+        record: ImageRecord,
+        label: int,
+        classes: np.ndarray,
+        probabilities: np.ndarray,
+        applied: list[dict],
+        nan_detected: bool,
+        inf_detected: bool,
+        model_tag: str,
+    ) -> None:
+        stream = self._streams.get(tag)
+        if stream is None:
+            return
+        stream.write(
+            ClassificationRecord(
+                image_id=record.image_id,
+                file_name=record.file_name,
+                ground_truth=label,
+                top5_classes=[int(c) for c in classes],
+                top5_probabilities=[float(p) for p in probabilities],
+                fault_positions=applied,
+                nan_detected=nan_detected,
+                inf_detected=inf_detected,
+                model_tag=model_tag,
+            )
+        )
+
+    def end(self) -> None:
+        _close_streams(self._streams)
+        self._streams = {}
+
+    @staticmethod
+    def merge_states(states: list) -> ClassificationState:
+        merged = ClassificationState()
+        for state in states:
+            merged.inferences += state.inferences
+            merged.groups += state.groups
+            merged.applied_faults += state.applied_faults
+            merged.golden_top1_hits += state.golden_top1_hits
+            merged.golden_top5_hits += state.golden_top5_hits
+            merged.corrupted_top1_hits += state.corrupted_top1_hits
+            merged.outcomes.update(state.outcomes)
+            merged.golden_logits.extend(state.golden_logits)
+            merged.corrupted_logits.extend(state.corrupted_logits)
+            merged.resil_golden_logits.extend(state.resil_golden_logits)
+            merged.resil_logits.extend(state.resil_logits)
+            merged.labels.extend(state.labels)
+            merged.due_flags.extend(state.due_flags)
+            merged.applied_log.extend(state.applied_log)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# detection task
+# --------------------------------------------------------------------------- #
+@dataclass
+class DetectionState:
+    """Picklable aggregates of a (possibly sharded) detection campaign.
+
+    Per-image *predictions* (small box/score/label dicts) are retained for
+    the campaign-level IVMOD / mAP evaluation; the much larger per-image
+    result records are streamed to disk instead of being buffered.
+    """
+
+    inferences: int = 0
+    groups: int = 0
+    applied_faults: int = 0
+    golden_predictions: list = field(default_factory=list)
+    corrupted_predictions: list = field(default_factory=list)
+    resil_golden_predictions: list = field(default_factory=list)
+    resil_predictions: list = field(default_factory=list)
+    targets: list = field(default_factory=list)
+    due_flags: list = field(default_factory=list)
+    applied_log: list = field(default_factory=list)
+
+
+class DetectionTask(CampaignTask):
+    """IVMOD / mAP bookkeeping for object-detection campaigns.
+
+    Each step's detections are converted to prediction dicts (golden,
+    corrupted and optionally the hardened "resil" lane), NaN and Inf are
+    attributed separately per event type via ``Detection.has_nan()`` /
+    ``has_inf()`` plus the layer monitors, and per-image
+    :class:`DetectionRecord` JSON entries are streamed as they are produced.
+    """
+
+    name = "detection"
+
+    def __init__(self, collect_applied_log: bool = False):
+        self.collect_applied_log = collect_applied_log
+        self.state = DetectionState()
+        self._streams: dict = {}
+
+    def reset(self) -> None:
+        self.state = DetectionState()
+        self._streams = {}
+
+    def begin(self, writer: CampaignResultWriter | None, resil: bool = False) -> dict[str, str]:
+        self._streams = {}
+        if writer is None:
+            return {}
+        self._streams["golden_json"] = writer.stream_detection("golden")
+        self._streams["corrupted_json"] = writer.stream_detection("corrupted")
+        if resil:
+            self._streams["resil_json"] = writer.stream_detection("resil")
+        self._streams["applied_faults"] = writer.stream_applied_faults()
+        return {tag: str(stream.path) for tag, stream in self._streams.items()}
+
+    def consume(self, ctx: StepContext) -> None:
+        state = self.state
+        if ctx.collect_applied:
+            state.groups += 1
+            state.applied_faults += len(ctx.applied)
+            if self.collect_applied_log:
+                state.applied_log.extend(ctx.applied)
+            stream = self._streams.get("applied_faults")
+            if stream is not None:
+                for entry in ctx.applied:
+                    stream.write(entry)
+
+        for i, record in enumerate(ctx.batch):
+            golden_detection = ctx.golden[i]
+            corrupted_detection = ctx.corrupted[i]
+            target = record.target
+            nan_detected = ctx.monitor.nan_detected or corrupted_detection.has_nan()
+            inf_detected = ctx.monitor.inf_detected or corrupted_detection.has_inf()
+
+            state.inferences += 1
+            state.golden_predictions.append(golden_detection.as_dict())
+            state.corrupted_predictions.append(corrupted_detection.as_dict())
+            state.targets.append(
+                {
+                    "boxes": np.asarray(target["boxes"], dtype=np.float32),
+                    "labels": np.asarray(target["labels"], dtype=np.int64),
+                    "image_id": record.image_id,
+                    "file_name": record.file_name,
+                }
+            )
+            state.due_flags.append(bool(nan_detected or inf_detected))
+
+            self._write_record("golden_json", record, golden_detection, [], False, False, "golden")
+            self._write_record(
+                "corrupted_json", record, corrupted_detection,
+                ctx.applied, nan_detected, inf_detected, "corrupted",
+            )
+            if ctx.resil is not None:
+                # Judge the hardened detector against its own fault-free run.
+                resil_detection = ctx.resil[i]
+                state.resil_golden_predictions.append(ctx.resil_golden[i].as_dict())
+                state.resil_predictions.append(resil_detection.as_dict())
+                self._write_record(
+                    "resil_json", record, resil_detection, ctx.applied,
+                    resil_detection.has_nan(), resil_detection.has_inf(), "resil",
+                )
+
+    def _write_record(
+        self,
+        tag: str,
+        record: ImageRecord,
+        detection,
+        applied: list[dict],
+        nan_detected: bool,
+        inf_detected: bool,
+        model_tag: str,
+    ) -> None:
+        stream = self._streams.get(tag)
+        if stream is None:
+            return
+        as_dict = detection.as_dict()
+        stream.write(
+            DetectionRecord(
+                image_id=record.image_id,
+                file_name=record.file_name,
+                boxes=as_dict["boxes"],
+                scores=as_dict["scores"],
+                labels=as_dict["labels"],
+                fault_positions=applied,
+                nan_detected=bool(nan_detected),
+                inf_detected=bool(inf_detected),
+                model_tag=model_tag,
+            )
+        )
+
+    def end(self) -> None:
+        _close_streams(self._streams)
+        self._streams = {}
+
+    @staticmethod
+    def merge_states(states: list) -> DetectionState:
+        merged = DetectionState()
+        for state in states:
+            merged.inferences += state.inferences
+            merged.groups += state.groups
+            merged.applied_faults += state.applied_faults
+            merged.golden_predictions.extend(state.golden_predictions)
+            merged.corrupted_predictions.extend(state.corrupted_predictions)
+            merged.resil_golden_predictions.extend(state.resil_golden_predictions)
+            merged.resil_predictions.extend(state.resil_predictions)
+            merged.targets.extend(state.targets)
+            merged.due_flags.extend(state.due_flags)
+            merged.applied_log.extend(state.applied_log)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# the task-agnostic core
+# --------------------------------------------------------------------------- #
+def _epoch_segments(start: int, stop: int, num_batches: int) -> Iterator[tuple[int, int, int]]:
+    """Split a global step range into ``(epoch, first_batch, stop_batch)`` runs."""
+    step = start
+    while step < stop:
+        epoch, batch = divmod(step, num_batches)
+        segment_stop = min(stop, (epoch + 1) * num_batches)
+        yield epoch, batch, batch + (segment_stop - step)
+        step = segment_stop
+
+
+class CampaignCore:
+    """Task-agnostic campaign loop over the clone-free fault group sessions.
+
+    The core owns the mechanics shared by every workload — dataset iteration,
+    golden/faulty lock-step inference, session handling for the primary and
+    the optional hardened model lane, attach-once monitor caching and stream
+    lifecycle — and delegates all output interpretation to a
+    :class:`CampaignTask`.
+
+    Args:
+        model: the fault-free baseline model (restored bit-exactly after
+            every weight fault group).
+        dataset: map-style dataset yielding ``(image, label_or_target)``.
+        task: the workload adapter receiving every step's outputs.
+        scenario: campaign configuration.  ``dataset_size`` is aligned with
+            the dataset, and ``per_image`` campaigns run with ``batch_size=1``
+            (the paper's convention: one fault group per image).
+        writer: optional result writer; when given, per-inference records and
+            the applied-fault log are streamed as they are produced.
+        error_model: overrides the error model derived from the scenario.
+        input_shape: per-sample input shape used for model profiling.
+        custom_monitors: extra monitoring callbacks attached alongside the
+            NaN/Inf monitor.
+        dl_shuffle: shuffle the dataset between epochs (seeded).
+        resil_model: optional hardened variant evaluated under the same
+            faults (its own fault-free pass is the resil baseline).
+        wrapper: optional pre-built ``ptfiwrap`` (e.g. with a reloaded fault
+            file); built from the scenario otherwise.
+        resil_wrapper: optional pre-built wrapper for the hardened model.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        dataset,
+        task: CampaignTask,
+        scenario: ScenarioConfig | None = None,
+        writer: CampaignResultWriter | None = None,
+        error_model: ErrorModel | None = None,
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        custom_monitors: list[Callable] | None = None,
+        dl_shuffle: bool = False,
+        resil_model: Module | None = None,
+        wrapper: ptfiwrap | None = None,
+        resil_wrapper: ptfiwrap | None = None,
+    ):
+        if dataset is None or len(dataset) == 0:
+            raise ValueError("a non-empty dataset is required to run a campaign")
+        self.model = model.eval()
+        self.dataset = dataset
+        self.task = task
+        self.scenario = normalize_campaign_scenario(scenario, dataset)
+        self.writer = writer
+        self.input_shape = tuple(input_shape)
+        self.custom_monitors = list(custom_monitors or [])
+        self.dl_shuffle = dl_shuffle
+        self._error_model = error_model
+        self.wrapper = (
+            wrapper
+            if wrapper is not None
+            else ptfiwrap(model, scenario=self.scenario, input_shape=self.input_shape)
+        )
+        self.resil_model = resil_model.eval() if resil_model is not None else None
+        if self.resil_model is not None and resil_wrapper is None:
+            resil_wrapper = ptfiwrap(
+                self.resil_model,
+                scenario=self.scenario,
+                input_shape=self.input_shape,
+                fault_matrix=self.wrapper.get_fault_matrix(),
+            )
+        self.resil_wrapper = resil_wrapper
+        self._monitors = MonitorCache(self.custom_monitors)
+
+    # ------------------------------------------------------------------ #
+    # campaign geometry
+    # ------------------------------------------------------------------ #
+    def make_loader(self) -> AlfiDataLoaderWrapper:
+        """Build the metadata-enriched loader of this campaign."""
+        return AlfiDataLoaderWrapper(
+            self.dataset,
+            batch_size=self.scenario.batch_size,
+            shuffle=self.dl_shuffle,
+            seed=self.scenario.random_seed,
+        )
+
+    @property
+    def num_batches(self) -> int:
+        """Batches per epoch."""
+        return (len(self.dataset) + self.scenario.batch_size - 1) // self.scenario.batch_size
+
+    @property
+    def total_steps(self) -> int:
+        """Total batch steps of the whole campaign (all epochs)."""
+        return self.scenario.num_runs * self.num_batches
+
+    def _group_range(self, start: int, stop: int, policy: InjectionPolicy) -> tuple[int, int]:
+        """Fault-group range consumed by the step range ``[start, stop)``."""
+        if start >= stop:
+            return 0, 0
+        if policy is InjectionPolicy.PER_EPOCH:
+            return start // self.num_batches, (stop - 1) // self.num_batches + 1
+        return start, stop
+
+    # ------------------------------------------------------------------ #
+    # campaign execution
+    # ------------------------------------------------------------------ #
+    def run(self, start: int = 0, stop: int | None = None) -> dict[str, str]:
+        """Execute the steps ``[start, stop)`` of the campaign (all by default).
+
+        Results accumulate in ``self.task.state``; the returned dictionary
+        maps stream tags to the record files written (empty without writer).
+        """
+        total = self.total_steps
+        stop = total if stop is None else min(stop, total)
+        if not 0 <= start <= total:
+            raise ValueError(f"step range start {start} outside campaign of {total} steps")
+        policy = InjectionPolicy.from_string(self.scenario.inj_policy)
+        loader = self.make_loader()
+        group_start, group_stop = self._group_range(start, stop, policy)
+        groups = self.wrapper.get_fault_group_iter(
+            self._error_model, start=group_start, stop=group_stop
+        )
+        resil_groups = None
+        if self.resil_wrapper is not None:
+            resil_groups = self.resil_wrapper.get_fault_group_iter(
+                self._error_model, start=group_start, stop=group_stop
+            )
+        stream_paths = self.task.begin(self.writer, resil=self.resil_model is not None)
+        try:
+            for epoch, first_batch, stop_batch in _epoch_segments(start, stop, self.num_batches):
+                group = resil_group = None
+                group_index = -1
+                if policy is InjectionPolicy.PER_EPOCH:
+                    group = self._next_group(groups)
+                    if resil_groups is not None:
+                        resil_group = self._next_group(resil_groups)
+                    group_index = epoch
+                for offset, batch in enumerate(loader.iter_batches(epoch, first_batch, stop_batch)):
+                    step = epoch * self.num_batches + first_batch + offset
+                    if policy is not InjectionPolicy.PER_EPOCH:
+                        group = self._next_group(groups)
+                        if resil_groups is not None:
+                            resil_group = self._next_group(resil_groups)
+                        group_index = step
+                        collect_applied = True
+                    else:
+                        # The applied-fault log of an epoch group is collected
+                        # exactly once, on the epoch's first (global) batch.
+                        collect_applied = first_batch + offset == 0
+                    self._run_step(
+                        batch, epoch, step, group, group_index, collect_applied, resil_group
+                    )
+        finally:
+            self.task.end()
+            groups.close()
+            if resil_groups is not None:
+                resil_groups.close()
+            self._monitors.detach_all()
+        return stream_paths
+
+    @staticmethod
+    def _next_group(groups: Iterator):
+        try:
+            return next(groups)
+        except StopIteration:
+            raise RuntimeError(
+                "fault matrix exhausted before the campaign finished; the loaded "
+                "fault file provides fewer fault groups than the scenario needs"
+            ) from None
+
+    def _run_step(
+        self,
+        batch: list[ImageRecord],
+        epoch: int,
+        step: int,
+        group,
+        group_index: int,
+        collect_applied: bool,
+        resil_group,
+    ) -> None:
+        task = self.task
+        images = AlfiDataLoaderWrapper.stack_images(batch)
+        golden = task.infer(self.model, images, batch)  # before the patch is applied
+        with group:
+            monitor = self._monitors.monitor_for(group.model)
+            monitor.reset()
+            monitor.enabled = True
+            try:
+                corrupted = task.infer(group.model, images, batch)
+            finally:
+                monitor.enabled = False
+            monitor_result = monitor.collect()
+        applied = [fault.as_dict() for fault in group.applied_faults]
+        resil_golden = resil_out = None
+        if resil_group is not None:
+            # The hardened model is judged against its *own* fault-free
+            # baseline, so that range clamping of rare fault-free activations
+            # is not misattributed to the injected fault.  Its golden pass
+            # must run before the patch session opens.
+            resil_golden = task.infer(self.resil_model, images, batch)
+            with resil_group:
+                resil_out = task.infer(resil_group.model, images, batch)
+        task.consume(
+            StepContext(
+                batch=batch,
+                epoch=epoch,
+                step=step,
+                group_index=group_index,
+                golden=golden,
+                corrupted=corrupted,
+                applied=applied,
+                monitor=monitor_result,
+                collect_applied=collect_applied,
+                resil_golden=resil_golden,
+                resil=resil_out,
+            )
+        )
+
+
+# --------------------------------------------------------------------------- #
+# sharded parallel execution
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ShardJob:
+    """Self-contained, picklable description of one campaign shard."""
+
+    index: int
+    start: int
+    stop: int
+    model: Module
+    resil_model: Module | None
+    dataset: object
+    task: CampaignTask
+    scenario: ScenarioConfig
+    error_model: ErrorModel | None
+    input_shape: tuple[int, ...]
+    dl_shuffle: bool
+    fault_matrix: object
+    shard_dir: str | None
+    campaign_name: str
+
+
+def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
+    """Run one shard (in a worker process or in-process) and return its state."""
+    writer = (
+        CampaignResultWriter(job.shard_dir, campaign_name=job.campaign_name)
+        if job.shard_dir is not None
+        else None
+    )
+    wrapper = ptfiwrap(
+        job.model,
+        scenario=job.scenario,
+        input_shape=job.input_shape,
+        fault_matrix=job.fault_matrix,
+    )
+    core = CampaignCore(
+        job.model,
+        job.dataset,
+        job.task,
+        scenario=job.scenario,
+        writer=writer,
+        error_model=job.error_model,
+        input_shape=job.input_shape,
+        dl_shuffle=job.dl_shuffle,
+        resil_model=job.resil_model,
+        wrapper=wrapper,
+    )
+    stream_paths = core.run(start=job.start, stop=job.stop)
+    return job.index, job.task.state, stream_paths
+
+
+class ShardedCampaignExecutor:
+    """Partition a campaign into contiguous shards and run them in parallel.
+
+    The campaign's global step sequence is split into ``num_shards``
+    contiguous, balanced ranges.  Each shard re-derives its exact slice of
+    the work deterministically — the seeded epoch permutations, the shared
+    pre-generated fault matrix and the shard's fault-group range — runs it
+    through its own :class:`CampaignCore`, and streams records into a
+    per-shard directory (``<output>/shards/shard_XX``).  Afterwards the shard
+    states are merged in shard order and the per-shard record files are
+    concatenated byte-identically to a single-process run.
+
+    ``workers=1`` executes the shards sequentially in-process (no
+    subprocesses, no pickling); ``workers>1`` uses a ``multiprocessing``
+    pool.
+
+    Args:
+        core: the configured campaign (model, dataset, task, scenario...).
+        workers: number of worker processes (1 = in-process execution).
+        num_shards: number of shards (defaults to ``workers``).
+    """
+
+    def __init__(self, core: CampaignCore, workers: int = 1, num_shards: int | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.core = core
+        self.workers = int(workers)
+        num_shards = self.workers if num_shards is None else int(num_shards)
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = min(num_shards, core.total_steps)
+
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """Contiguous, balanced ``[start, stop)`` step ranges of the shards."""
+        total = self.core.total_steps
+        n = self.num_shards
+        return [(i * total // n, (i + 1) * total // n) for i in range(n)]
+
+    def run(self) -> tuple[object, dict[str, str]]:
+        """Execute all shards and return ``(merged_state, merged_stream_paths)``.
+
+        The merged state is also installed as ``core.task.state`` so callers
+        can keep reading results from the task they configured.
+        """
+        core = self.core
+        if self.num_shards <= 1:
+            stream_paths = core.run()
+            return core.task.state, stream_paths
+
+        bounds = self.shard_bounds()
+        jobs = []
+        for index, (start, stop) in enumerate(bounds):
+            shard_dir = None
+            if core.writer is not None:
+                shard_dir = str(core.writer.output_dir / "shards" / f"shard_{index:02d}")
+            jobs.append(
+                _ShardJob(
+                    index=index,
+                    start=start,
+                    stop=stop,
+                    model=core.model,
+                    resil_model=core.resil_model,
+                    dataset=core.dataset,
+                    task=core.task.fresh(),
+                    scenario=core.scenario,
+                    error_model=core._error_model,
+                    input_shape=core.input_shape,
+                    dl_shuffle=core.dl_shuffle,
+                    fault_matrix=core.wrapper.get_fault_matrix(),
+                    shard_dir=shard_dir,
+                    campaign_name=core.writer.campaign_name if core.writer is not None else "campaign",
+                )
+            )
+        if self.workers == 1:
+            results = [_execute_shard(job) for job in jobs]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
+                results = pool.map(_execute_shard, jobs)
+        results.sort(key=lambda item: item[0])
+
+        merged_state = type(core.task).merge_states([state for _, state, _ in results])
+        core.task.state = merged_state
+        merged_paths: dict[str, str] = {}
+        if core.writer is not None:
+            merged_paths = self._merge_stream_files([paths for _, _, paths in results])
+        return merged_state, merged_paths
+
+    def _merge_stream_files(self, shard_paths: list[dict[str, str]]) -> dict[str, str]:
+        """Concatenate the shards' record files into the campaign directory."""
+        merged: dict[str, str] = {}
+        tags: list[str] = []
+        for paths in shard_paths:
+            for tag in paths:
+                if tag not in tags:
+                    tags.append(tag)
+        for tag in tags:
+            parts = [Path(paths[tag]) for paths in shard_paths if tag in paths]
+            out_path = self.core.writer.output_dir / parts[0].name
+            if parts[0].suffix == ".csv":
+                merge_csv_files(parts, out_path)
+            else:
+                merge_json_array_files(parts, out_path)
+            merged[tag] = str(out_path)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# the streaming classification campaign runner (PR-1 interface)
+# --------------------------------------------------------------------------- #
 class CampaignRunner:
     """Run a classification fault-injection campaign without model clones.
+
+    A thin facade over :class:`CampaignCore` + :class:`ClassificationTask`:
+    golden and faulty inference run batch-wise in lock-step through the
+    clone-free sessions, per-inference records are streamed (not buffered)
+    and only aggregate KPIs are kept and returned as a
+    :class:`CampaignSummary`.
 
     Args:
         model: the fault-free baseline classifier (restored bit-exactly after
             every weight fault group).
-        dataset: map-style dataset yielding ``(image, label)``; wrapped in an
-            :class:`~repro.data.wrapper.AlfiDataLoaderWrapper`.
-        scenario: campaign configuration.  ``dataset_size`` is aligned with
-            the dataset, and ``per_image`` campaigns run with ``batch_size=1``
-            (the paper's convention: one fault group per image).
+        dataset: map-style dataset yielding ``(image, label)``.
+        scenario: campaign configuration.
         writer: optional :class:`CampaignResultWriter`; when given, the meta
             file, fault matrix, applied-fault log and per-inference golden /
             corrupted CSVs are written (records are streamed, not buffered).
@@ -108,6 +924,9 @@ class CampaignRunner:
         custom_monitors: extra monitoring callbacks attached alongside the
             NaN/Inf monitor.
         dl_shuffle: shuffle the dataset between epochs (seeded).
+        workers: worker processes for sharded execution (1 = serial).
+        num_shards: campaign shards (defaults to ``workers``); the merged
+            output of any shard count is bit-identical to a serial run.
     """
 
     def __init__(
@@ -120,217 +939,78 @@ class CampaignRunner:
         input_shape: tuple[int, ...] = (3, 32, 32),
         custom_monitors: list[Callable] | None = None,
         dl_shuffle: bool = False,
+        workers: int = 1,
+        num_shards: int | None = None,
     ):
-        if dataset is None or len(dataset) == 0:
-            raise ValueError("a non-empty dataset is required to run a campaign")
-        self.model = model.eval()
-        self.dataset = dataset
-        scenario = scenario if scenario is not None else default_scenario()
-        overrides: dict = {}
-        if scenario.dataset_size != len(dataset):
-            overrides["dataset_size"] = len(dataset)
-        if scenario.inj_policy == "per_image" and scenario.batch_size != 1:
-            overrides["batch_size"] = 1
-        self.scenario = scenario.copy(**overrides) if overrides else scenario
-        self.writer = writer
-        self.custom_monitors = list(custom_monitors or [])
-        self.dl_shuffle = dl_shuffle
-        self._error_model = error_model
-        self.wrapper = ptfiwrap(model, scenario=self.scenario, input_shape=input_shape)
-        self._monitors: dict[int, InferenceMonitor] = {}
+        self.task = ClassificationTask()
+        self.core = CampaignCore(
+            model,
+            dataset,
+            self.task,
+            scenario=scenario,
+            writer=writer,
+            error_model=error_model,
+            input_shape=input_shape,
+            custom_monitors=custom_monitors,
+            dl_shuffle=dl_shuffle,
+        )
+        self.workers = workers
+        self.num_shards = num_shards
 
-    # ------------------------------------------------------------------ #
-    # campaign execution
-    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> Module:
+        return self.core.model
+
+    @property
+    def dataset(self):
+        return self.core.dataset
+
+    @property
+    def scenario(self) -> ScenarioConfig:
+        return self.core.scenario
+
+    @property
+    def writer(self) -> CampaignResultWriter | None:
+        return self.core.writer
+
+    @property
+    def wrapper(self) -> ptfiwrap:
+        return self.core.wrapper
+
     def run(self) -> CampaignSummary:
         """Execute the campaign and return the aggregate KPIs."""
-        scenario = self.scenario
-        policy = InjectionPolicy.from_string(scenario.inj_policy)
-        loader = AlfiDataLoaderWrapper(
-            self.dataset,
-            batch_size=scenario.batch_size,
-            shuffle=self.dl_shuffle,
-            seed=scenario.random_seed,
+        self.task.reset()
+        executor = ShardedCampaignExecutor(
+            self.core, workers=self.workers, num_shards=self.num_shards
         )
-        groups = self.wrapper.get_fault_group_iter(self._error_model)
-        tally = _Tally()
-        golden_stream = corrupted_stream = applied_stream = None
-        stream_paths: dict[str, str] = {}
-        if self.writer is not None:
-            golden_stream = self.writer.stream_classification("golden")
-            corrupted_stream = self.writer.stream_classification("corrupted")
-            applied_stream = self.writer.stream_applied_faults()
-            stream_paths = {
-                "golden_csv": str(golden_stream.path),
-                "corrupted_csv": str(corrupted_stream.path),
-                "applied_faults": str(applied_stream.path),
-            }
-        try:
-            for _epoch in range(scenario.num_runs):
-                if policy is InjectionPolicy.PER_EPOCH:
-                    group = self._next_group(groups)
-                    tally.groups += 1
-                    first_batch = True
-                    for batch in loader:
-                        self._run_batch(
-                            batch, group, tally, golden_stream, corrupted_stream,
-                            applied_stream, collect_applied=first_batch,
-                        )
-                        first_batch = False
-                else:  # per_batch, or per_image with batch_size forced to 1
-                    for batch in loader:
-                        group = self._next_group(groups)
-                        tally.groups += 1
-                        self._run_batch(
-                            batch, group, tally, golden_stream, corrupted_stream,
-                            applied_stream, collect_applied=True,
-                        )
-        finally:
-            for stream in (golden_stream, corrupted_stream, applied_stream):
-                if stream is not None:
-                    stream.close()
-            groups.close()
-            for monitor in self._monitors.values():
-                monitor.detach()
-            self._monitors = {}
-        return self._summarize(tally, stream_paths)
+        state, stream_paths = executor.run()
+        return self._summarize(state, stream_paths)
 
-    @staticmethod
-    def _next_group(groups: Iterator):
-        try:
-            return next(groups)
-        except StopIteration:
-            raise RuntimeError(
-                "fault matrix exhausted before the campaign finished; the loaded "
-                "fault file provides fewer fault groups than the scenario needs"
-            ) from None
-
-    def _run_batch(
-        self,
-        batch: list[ImageRecord],
-        group,
-        tally: _Tally,
-        golden_stream,
-        corrupted_stream,
-        applied_stream,
-        collect_applied: bool,
-    ) -> None:
-        images = AlfiDataLoaderWrapper.stack_images(batch)
-        golden_out = np.asarray(self.model(images))  # before the patch is applied
-        with group:
-            monitor = self._monitor_for(group.model)
-            monitor.reset()
-            monitor.enabled = True
-            try:
-                corrupted_out = np.asarray(group.model(images))
-            finally:
-                monitor.enabled = False
-            monitor_result = monitor.collect()
-        applied = [fault.as_dict() for fault in group.applied_faults]
-        if collect_applied:
-            tally.applied_faults += len(applied)
-            if applied_stream is not None:
-                for entry in applied:
-                    applied_stream.write(entry)
-
-        golden_classes, golden_probs = top_k_predictions(golden_out, k=5)
-        corrupted_classes, corrupted_probs = top_k_predictions(corrupted_out, k=5)
-        for i, record in enumerate(batch):
-            label = int(record.target)
-            # Monitor events are batch-scoped; per-image output NaN/Inf adds
-            # image resolution on top (for batch_size=1 they coincide).
-            nan_detected = monitor_result.nan_detected or bool(np.isnan(corrupted_out[i]).any())
-            inf_detected = monitor_result.inf_detected or bool(np.isinf(corrupted_out[i]).any())
-            outcome = classify_classification_outcome(
-                int(golden_classes[i, 0]),
-                int(corrupted_classes[i, 0]),
-                nan_detected or inf_detected,
-            )
-            tally.inferences += 1
-            tally.outcomes[outcome] += 1
-            tally.golden_top1_hits += int(golden_classes[i, 0] == label)
-            tally.golden_top5_hits += int(label in golden_classes[i])
-            tally.corrupted_top1_hits += int(corrupted_classes[i, 0] == label)
-            if golden_stream is not None:
-                golden_stream.write(
-                    self._record(record, label, golden_classes[i], golden_probs[i], [], False, False, "golden")
-                )
-            if corrupted_stream is not None:
-                corrupted_stream.write(
-                    self._record(
-                        record, label, corrupted_classes[i], corrupted_probs[i],
-                        applied, nan_detected, inf_detected, "corrupted",
-                    )
-                )
-
-    def _monitor_for(self, model: Module) -> InferenceMonitor:
-        """Attach (once) and return the monitor for a faulty model instance.
-
-        The clone-free sessions reuse stable model objects — the original for
-        weight faults, one hooked clone for neuron faults — so the monitor
-        hooks are attached a single time per campaign instead of per group.
-        """
-        key = id(model)
-        monitor = self._monitors.get(key)
-        if monitor is None:
-            monitor = InferenceMonitor(model, custom_monitors=self.custom_monitors)
-            monitor.attach()
-            # Disabled outside the faulty inference: for weight campaigns the
-            # monitored model is also the golden model, and the golden pass
-            # should not pay the per-layer NaN/Inf scan.
-            monitor.enabled = False
-            self._monitors[key] = monitor
-        return monitor
-
-    @staticmethod
-    def _record(
-        record: ImageRecord,
-        label: int,
-        classes: np.ndarray,
-        probabilities: np.ndarray,
-        applied: list[dict],
-        nan_detected: bool,
-        inf_detected: bool,
-        tag: str,
-    ) -> ClassificationRecord:
-        return ClassificationRecord(
-            image_id=record.image_id,
-            file_name=record.file_name,
-            ground_truth=label,
-            top5_classes=[int(c) for c in classes],
-            top5_probabilities=[float(p) for p in probabilities],
-            fault_positions=applied,
-            nan_detected=nan_detected,
-            inf_detected=inf_detected,
-            model_tag=tag,
-        )
-
-    def _summarize(self, tally: _Tally, stream_paths: dict[str, str]) -> CampaignSummary:
-        n = tally.inferences
-        outcome_counts = {outcome.value: tally.outcomes.get(outcome, 0) for outcome in FaultOutcome}
+    def _summarize(self, state: ClassificationState, stream_paths: dict[str, str]) -> CampaignSummary:
+        n = state.inferences
+        outcome_counts = {outcome.value: state.outcomes.get(outcome, 0) for outcome in FaultOutcome}
         output_files: dict[str, str] = {}
-        if self.writer is not None:
+        writer = self.core.writer
+        if writer is not None:
             output_files = dict(stream_paths)
             output_files["meta"] = str(
-                self.writer.write_meta(self.scenario, extra={"model_name": self.scenario.model_name})
+                writer.write_meta(self.scenario, extra={"model_name": self.scenario.model_name})
             )
-            output_files["faults"] = str(self.writer.write_fault_matrix(self.wrapper.get_fault_matrix()))
+            output_files["faults"] = str(writer.write_fault_matrix(self.wrapper.get_fault_matrix()))
         summary = CampaignSummary(
             model_name=self.scenario.model_name,
             num_inferences=n,
-            num_fault_groups=tally.groups,
-            num_applied_faults=tally.applied_faults,
-            golden_top1_accuracy=tally.golden_top1_hits / n if n else 0.0,
-            golden_top5_accuracy=tally.golden_top5_hits / n if n else 0.0,
-            corrupted_top1_accuracy=tally.corrupted_top1_hits / n if n else 0.0,
-            masked_rate=tally.outcomes.get(FaultOutcome.MASKED, 0) / n if n else 0.0,
-            sde_rate=tally.outcomes.get(FaultOutcome.SDE, 0) / n if n else 0.0,
-            due_rate=tally.outcomes.get(FaultOutcome.DUE, 0) / n if n else 0.0,
+            num_fault_groups=state.groups,
+            num_applied_faults=state.applied_faults,
+            golden_top1_accuracy=state.golden_top1_hits / n if n else 0.0,
+            golden_top5_accuracy=state.golden_top5_hits / n if n else 0.0,
+            corrupted_top1_accuracy=state.corrupted_top1_hits / n if n else 0.0,
+            masked_rate=state.outcomes.get(FaultOutcome.MASKED, 0) / n if n else 0.0,
+            sde_rate=state.outcomes.get(FaultOutcome.SDE, 0) / n if n else 0.0,
+            due_rate=state.outcomes.get(FaultOutcome.DUE, 0) / n if n else 0.0,
             outcome_counts=outcome_counts,
             output_files=output_files,
         )
-        if self.writer is not None:
-            summary.output_files["kpis"] = str(
-                self.writer.write_kpi_summary(summary.as_dict())
-            )
+        if writer is not None:
+            summary.output_files["kpis"] = str(writer.write_kpi_summary(summary.as_dict()))
         return summary

@@ -154,6 +154,42 @@ class InferenceMonitor:
         self.detach()
 
 
+class MonitorCache:
+    """Attach-once monitor registry for the stable models of clone-free sessions.
+
+    Clone-free campaign sessions reuse stable model objects — the original
+    model for weight faults, one hooked clone for neuron faults — so hooks
+    only need to be attached once per campaign instead of once per fault
+    group.  The cache keys monitors by model identity, hands them out with
+    the per-layer scan *disabled* (golden passes must not pay for it), and
+    detaches everything at campaign teardown.
+    """
+
+    def __init__(self, custom_monitors: list[CustomMonitor] | None = None):
+        self.custom_monitors = list(custom_monitors or [])
+        self._monitors: dict[int, InferenceMonitor] = {}
+
+    def monitor_for(self, model: Module) -> InferenceMonitor:
+        """Return the (lazily attached) monitor of a faulty model instance."""
+        key = id(model)
+        monitor = self._monitors.get(key)
+        if monitor is None:
+            monitor = InferenceMonitor(model, custom_monitors=self.custom_monitors)
+            monitor.attach()
+            # Disabled outside the faulty inference: for weight campaigns the
+            # monitored model is also the golden model, and the golden pass
+            # should not pay the per-layer NaN/Inf scan.
+            monitor.enabled = False
+            self._monitors[key] = monitor
+        return monitor
+
+    def detach_all(self) -> None:
+        """Remove the hooks of every cached monitor and empty the cache."""
+        for monitor in self._monitors.values():
+            monitor.detach()
+        self._monitors = {}
+
+
 class RangeMonitor:
     """Custom monitor flagging activations outside a configured magnitude bound.
 

@@ -191,6 +191,77 @@ class JsonArrayStream:
         self.close()
 
 
+_MERGE_CHUNK_BYTES = 1 << 20
+
+
+def _copy_bytes(src, out, remaining: int) -> None:
+    while remaining > 0:
+        chunk = src.read(min(_MERGE_CHUNK_BYTES, remaining))
+        if not chunk:
+            break
+        out.write(chunk)
+        remaining -= len(chunk)
+
+
+def merge_csv_files(shard_paths: list[str | Path], out_path: str | Path) -> Path:
+    """Concatenate shard CSVs written by :class:`CsvRecordStream`, in order.
+
+    The header of the first non-empty shard is kept, subsequent headers are
+    dropped, and empty shard files (no records) are skipped, so the merged
+    file is byte-identical to one produced by a single stream writing the
+    same records sequentially.  Shards are copied in bounded chunks — merge
+    memory stays O(1), not O(campaign).
+    """
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "wb") as out:
+        wrote_any = False
+        for shard_path in shard_paths:
+            shard_path = Path(shard_path)
+            if not shard_path.exists() or shard_path.stat().st_size == 0:
+                continue
+            with open(shard_path, "rb") as src:
+                if wrote_any:
+                    # Fixed field names: the header is exactly the first line.
+                    src.readline()
+                _copy_bytes(src, out, shard_path.stat().st_size)
+            wrote_any = True
+    return out_path
+
+
+def merge_json_array_files(shard_paths: list[str | Path], out_path: str | Path) -> Path:
+    """Merge shard JSON arrays written by :class:`JsonArrayStream`, in order.
+
+    The merge is textual — element bodies are re-joined with the stream's own
+    separators — so the result is byte-identical to a single stream having
+    written all records sequentially.  Empty shard arrays are skipped and
+    shards are copied in bounded chunks (O(1) merge memory).
+    """
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "wb") as out:
+        wrote_any = False
+        for shard_path in shard_paths:
+            shard_path = Path(shard_path)
+            if not shard_path.exists():
+                continue
+            size = shard_path.stat().st_size
+            if size <= 2:  # "" or "[]": no records
+                continue
+            with open(shard_path, "rb") as src:
+                if src.read(2) != b"[\n":
+                    raise ValueError(f"{shard_path} is not a JsonArrayStream output")
+                src.seek(-2, 2)
+                if src.read(2) != b"\n]":
+                    raise ValueError(f"{shard_path} is not a JsonArrayStream output")
+                src.seek(2)
+                out.write(b",\n" if wrote_any else b"[\n")
+                _copy_bytes(src, out, size - 4)
+            wrote_any = True
+        out.write(b"\n]" if wrote_any else b"[]")
+    return out_path
+
+
 class CampaignResultWriter:
     """Write the meta / fault / output files of one fault injection campaign.
 

@@ -197,17 +197,18 @@ def default_scenario(**overrides) -> ScenarioConfig:
     return ScenarioConfig().copy(**overrides) if overrides else ScenarioConfig()
 
 
+SCENARIO_FILE_HEADER = (
+    "# PyTorchALFI scenario configuration\n"
+    "# Total faults = dataset_size * num_runs * max_faults_per_image\n"
+)
+
+
 def save_scenario(config: ScenarioConfig, path: str | Path) -> Path:
     """Write a scenario configuration to a yml file (the meta-file of a run)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    document = {
-        "# PyTorchALFI scenario configuration": None,
-    }
-    del document  # header comment is emitted manually below
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write("# PyTorchALFI scenario configuration\n")
-        handle.write("# Total faults = dataset_size * num_runs * max_faults_per_image\n")
+        handle.write(SCENARIO_FILE_HEADER)
         yaml.safe_dump(config.as_dict(), handle, default_flow_style=False, sort_keys=True)
     return path
 

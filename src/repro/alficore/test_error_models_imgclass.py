@@ -1,18 +1,21 @@
 """High-level campaign runner for image classification networks.
 
 ``TestErrorModels_ImgClass`` encapsulates the complete workflow of Section
-V-B for classification CNNs: it wraps the dataset with the metadata-enriched
-loader, builds the ``ptfiwrap`` wrapper, pre-generates (or reloads) the fault
-matrix, runs golden / corrupted / optionally hardened inference in lock-step
-over the dataset, monitors NaN/Inf events, writes the three result file sets
-(meta yml, fault binaries, CSV outputs) and finally computes the KPIs
-(top-k accuracy, masked/SDE/DUE rates).
+V-B for classification CNNs as a thin facade over the task-pluggable
+:class:`~repro.alficore.campaign.CampaignCore`: it wraps the dataset with the
+metadata-enriched loader, builds the ``ptfiwrap`` wrapper, pre-generates (or
+reloads) the fault matrix, runs golden / corrupted / optionally hardened
+inference in lock-step over the dataset, monitors NaN/Inf events, streams the
+result file sets (meta yml, fault binaries, CSV outputs) and finally computes
+the KPIs (top-k accuracy, masked/SDE/DUE rates).
 
 Faulty inference goes through the clone-free fault group sessions: weight
 faults are patched into the original model in place (and restored bit-exactly
 after each group), neuron faults reuse one hooked clone.  The applied-fault
 log is collected per group from the sessions — the injector's shared log is
-no longer grown across campaign iterations.
+no longer grown across campaign iterations.  With ``workers`` / ``num_shards``
+the campaign is partitioned into contiguous shards and executed in parallel;
+the merged output is bit-identical to a serial run of the same seed.
 """
 
 from __future__ import annotations
@@ -22,15 +25,18 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.alficore.monitoring import InferenceMonitor, output_has_nan_or_inf
-from repro.alficore.results import CampaignResultWriter, ClassificationRecord
+from repro.alficore.campaign import (
+    CampaignCore,
+    ClassificationTask,
+    ShardedCampaignExecutor,
+    normalize_campaign_scenario,
+)
+from repro.alficore.results import CampaignResultWriter
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
 from repro.alficore.wrapper import ptfiwrap
-from repro.data.wrapper import AlfiDataLoaderWrapper
 from repro.eval.classification import (
     ClassificationCampaignResult,
     evaluate_classification_campaign,
-    top_k_predictions,
 )
 from repro.nn.module import Module
 
@@ -72,6 +78,8 @@ class TestErrorModels_ImgClass:
         input_shape: per-sample input shape used for model profiling.
         dl_shuffle: shuffle the dataset between epochs.
         device: accepted for API compatibility; unused by the numpy substrate.
+        workers: worker processes for sharded campaign execution (1 = serial).
+        num_shards: campaign shards (defaults to ``workers``).
     """
 
     def __init__(
@@ -86,6 +94,8 @@ class TestErrorModels_ImgClass:
         input_shape: tuple[int, ...] = (3, 32, 32),
         dl_shuffle: bool = False,
         device: str = "cpu",
+        workers: int = 1,
+        num_shards: int | None = None,
     ):
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
@@ -96,6 +106,8 @@ class TestErrorModels_ImgClass:
         self.input_shape = tuple(input_shape)
         self.dl_shuffle = dl_shuffle
         self.device = device
+        self.workers = workers
+        self.num_shards = num_shards
         if scenario is not None:
             self._base_scenario = scenario
         elif config_location is not None:
@@ -133,126 +145,58 @@ class TestErrorModels_ImgClass:
             :class:`ImgClassCampaignOutput` with KPI objects, raw logits and
             the paths of all written result files.
         """
-        scenario = self._base_scenario.copy(
-            dataset_size=len(self.dataset),
-            max_faults_per_image=num_faults,
-            inj_policy=inj_policy,
-            num_runs=num_runs,
-            model_name=self.model_name,
-            # The campaign loop below feeds images one at a time, so fault
-            # batch positions must stay within a batch of one.
-            batch_size=1,
+        scenario = normalize_campaign_scenario(
+            self._base_scenario.copy(
+                max_faults_per_image=num_faults,
+                inj_policy=inj_policy,
+                num_runs=num_runs,
+                model_name=self.model_name,
+            ),
+            self.dataset,
         )
         self.wrapper = ptfiwrap(self.model, scenario=scenario, input_shape=self.input_shape)
         if fault_file:
             self.wrapper.update_scenario(fault_file=fault_file)
 
-        fault_matrix = self.wrapper.get_fault_matrix()
-        if self.resil_model is not None:
-            self.resil_wrapper = ptfiwrap(
-                self.resil_model, scenario=scenario, input_shape=self.input_shape
-            )
-            self.resil_wrapper.set_fault_matrix(fault_matrix)
-
-        loader = AlfiDataLoaderWrapper(
-            self.dataset, batch_size=1, shuffle=self.dl_shuffle, seed=scenario.random_seed
+        writer = (
+            CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
+            if self.output_dir is not None
+            else None
         )
-        return self._run_campaign(scenario, loader)
-
-    # ------------------------------------------------------------------ #
-    # campaign execution
-    # ------------------------------------------------------------------ #
-    def _run_campaign(
-        self,
-        scenario: ScenarioConfig,
-        loader: AlfiDataLoaderWrapper,
-    ) -> ImgClassCampaignOutput:
-        assert self.wrapper is not None
-        golden_logits: list[np.ndarray] = []
-        corrupted_logits: list[np.ndarray] = []
-        resil_logits: list[np.ndarray] = []
-        resil_golden_logits: list[np.ndarray] = []
-        labels: list[int] = []
-        due_flags: list[bool] = []
-        corrupted_records: list[ClassificationRecord] = []
-        golden_records: list[ClassificationRecord] = []
-        resil_records: list[ClassificationRecord] = []
-
-        self.applied_faults = []
-        groups = self.wrapper.get_fault_group_iter()
-        resil_groups = (
-            self.resil_wrapper.get_fault_group_iter() if self.resil_wrapper is not None else None
+        task = ClassificationTask(collect_outputs=True)
+        core = CampaignCore(
+            self.model,
+            self.dataset,
+            task,
+            scenario=scenario,
+            writer=writer,
+            input_shape=self.input_shape,
+            dl_shuffle=self.dl_shuffle,
+            resil_model=self.resil_model,
+            wrapper=self.wrapper,
         )
-        for epoch in range(scenario.num_runs):
-            for batch in loader:
-                record = batch[0]
-                image = record.image[None, ...]
-                label = int(record.target)
-                golden_out = np.asarray(self.model(image))
-                group = next(groups)
-                with group:
-                    monitor = InferenceMonitor(group.model)
-                    with monitor:
-                        corrupted_out = np.asarray(group.model(image))
-                    monitor_result = monitor.collect()
-                # The sessions log per group: no shared, unbounded fault log.
-                applied = [fault.as_dict() for fault in group.applied_faults]
-                self.applied_faults.extend(applied)
-                out_nan, out_inf = output_has_nan_or_inf(corrupted_out)
-                nan_detected = monitor_result.nan_detected or out_nan
-                inf_detected = monitor_result.inf_detected or out_inf
+        self.resil_wrapper = core.resil_wrapper
+        executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)
+        state, stream_paths = executor.run()
+        self.applied_faults = list(state.applied_log)
 
-                golden_logits.append(golden_out[0])
-                corrupted_logits.append(corrupted_out[0])
-                labels.append(label)
-                due_flags.append(nan_detected or inf_detected)
-
-                golden_records.append(
-                    self._make_record(record, label, golden_out, [], False, False, "golden")
-                )
-                corrupted_records.append(
-                    self._make_record(
-                        record, label, corrupted_out, applied, nan_detected, inf_detected, "corrupted"
-                    )
-                )
-                if resil_groups is not None:
-                    # The hardened model is judged against its *own* fault-free
-                    # baseline, so that range clamping of rare fault-free
-                    # activations is not misattributed to the injected fault.
-                    # Its golden pass must run before the patch session opens.
-                    resil_golden_logits.append(np.asarray(self.resil_model(image))[0])
-                    with next(resil_groups) as resil_group:
-                        resil_out = np.asarray(resil_group.model(image))
-                    resil_nan, resil_inf = output_has_nan_or_inf(resil_out)
-                    resil_logits.append(resil_out[0])
-                    resil_records.append(
-                        self._make_record(
-                            record, label, resil_out, applied, resil_nan, resil_inf, "resil"
-                        )
-                    )
-        groups.close()
-        if resil_groups is not None:
-            resil_groups.close()
-
-        golden_arr = np.stack(golden_logits)
-        corrupted_arr = np.stack(corrupted_logits)
-        labels_arr = np.asarray(labels, dtype=np.int64)
-        due_arr = np.asarray(due_flags, dtype=bool)
+        golden_arr = np.stack(state.golden_logits)
+        corrupted_arr = np.stack(state.corrupted_logits)
+        labels_arr = np.asarray(state.labels, dtype=np.int64)
+        due_arr = np.asarray(state.due_flags, dtype=bool)
         corrupted_result = evaluate_classification_campaign(
             golden_arr, corrupted_arr, labels_arr, due_arr, model_name=self.model_name
         )
         resil_result = None
         resil_arr = None
-        if resil_logits:
-            resil_arr = np.stack(resil_logits)
-            resil_golden_arr = np.stack(resil_golden_logits)
+        if state.resil_logits:
+            resil_arr = np.stack(state.resil_logits)
+            resil_golden_arr = np.stack(state.resil_golden_logits)
             resil_result = evaluate_classification_campaign(
                 resil_golden_arr, resil_arr, labels_arr, model_name=f"{self.model_name}_resil"
             )
 
-        output_files = self._write_outputs(
-            scenario, golden_records, corrupted_records, resil_records, corrupted_result, resil_result
-        )
+        output_files = self._write_outputs(writer, scenario, stream_paths, corrupted_result, resil_result)
         return ImgClassCampaignOutput(
             corrupted=corrupted_result,
             resil=resil_result,
@@ -264,51 +208,22 @@ class TestErrorModels_ImgClass:
             output_files=output_files,
         )
 
-    def _make_record(
-        self,
-        record,
-        label: int,
-        logits: np.ndarray,
-        applied: list[dict],
-        nan_detected: bool,
-        inf_detected: bool,
-        tag: str,
-    ) -> ClassificationRecord:
-        classes, probabilities = top_k_predictions(np.asarray(logits), k=5)
-        return ClassificationRecord(
-            image_id=record.image_id,
-            file_name=record.file_name,
-            ground_truth=label,
-            top5_classes=[int(c) for c in classes[0]],
-            top5_probabilities=[float(p) for p in probabilities[0]],
-            fault_positions=applied,
-            nan_detected=nan_detected,
-            inf_detected=inf_detected,
-            model_tag=tag,
-        )
-
     def _write_outputs(
         self,
+        writer: CampaignResultWriter | None,
         scenario: ScenarioConfig,
-        golden_records: list[ClassificationRecord],
-        corrupted_records: list[ClassificationRecord],
-        resil_records: list[ClassificationRecord],
+        stream_paths: dict[str, str],
         corrupted_result: ClassificationCampaignResult,
         resil_result: ClassificationCampaignResult | None,
     ) -> dict[str, str]:
-        if self.output_dir is None or self.wrapper is None:
+        if writer is None or self.wrapper is None:
             return {}
-        writer = CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
         paths = {
             "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
             "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
-            "applied_faults": str(writer.write_applied_faults(self.applied_faults)),
-            "golden_csv": str(writer.write_classification_csv(golden_records, tag="golden")),
-            "corrupted_csv": str(writer.write_classification_csv(corrupted_records, tag="corrupted")),
+            **stream_paths,
         }
         kpis = {"corrupted": corrupted_result.as_dict()}
-        if resil_records:
-            paths["resil_csv"] = str(writer.write_classification_csv(resil_records, tag="resil"))
         if resil_result is not None:
             kpis["resil"] = resil_result.as_dict()
         paths["kpis"] = str(writer.write_kpi_summary(kpis))

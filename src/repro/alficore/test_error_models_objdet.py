@@ -1,10 +1,17 @@
 """High-level campaign runner for object detection networks.
 
 ``TestErrorModels_ObjDet`` mirrors :class:`TestErrorModels_ImgClass` for
-detectors: it runs golden / corrupted (and optionally hardened) inference in
-lock-step over a CoCo-style dataset, stores ground truth + per-image
-intermediate result JSON files, and computes CoCo-style mAP plus the IVMOD
-vulnerability metrics (Fig. 2b of the paper).
+detectors as a thin facade over the task-pluggable
+:class:`~repro.alficore.campaign.CampaignCore`: golden / corrupted (and
+optionally hardened) inference run in lock-step over a CoCo-style dataset
+through the clone-free fault group sessions — weight faults are patched into
+the original detector in place (no per-group model copy) and neuron faults
+reuse one hooked clone.  Per-image result records are *streamed* to JSON as
+they are produced (O(batch) memory); only the small per-image prediction
+dicts needed for CoCo-style mAP and the IVMOD vulnerability metrics (Fig. 2b
+of the paper) are retained.  NaN and Inf events are attributed separately per
+event type, and ``workers`` / ``num_shards`` run the campaign sharded with a
+merged output bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,13 +21,16 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.alficore.monitoring import InferenceMonitor
-from repro.alficore.results import CampaignResultWriter, DetectionRecord
+from repro.alficore.campaign import (
+    CampaignCore,
+    DetectionTask,
+    ShardedCampaignExecutor,
+    normalize_campaign_scenario,
+)
+from repro.alficore.results import CampaignResultWriter
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
 from repro.alficore.wrapper import ptfiwrap
-from repro.data.wrapper import AlfiDataLoaderWrapper
 from repro.eval.detection import DetectionCampaignResult, evaluate_detection_campaign
-from repro.models.detection.detectors import Detection
 from repro.nn.module import Module
 
 
@@ -45,10 +55,6 @@ class ObjDetCampaignOutput:
         return summary
 
 
-def _detection_to_dict(detection: Detection) -> dict:
-    return detection.as_dict()
-
-
 class TestErrorModels_ObjDet:
     """Turnkey fault injection campaigns for object detection models.
 
@@ -66,6 +72,8 @@ class TestErrorModels_ObjDet:
         num_classes: number of object classes (defaults to the dataset's).
         dl_shuffle: shuffle the dataset between epochs.
         device: accepted for API compatibility; unused by the numpy substrate.
+        workers: worker processes for sharded campaign execution (1 = serial).
+        num_shards: campaign shards (defaults to ``workers``).
     """
 
     def __init__(
@@ -81,6 +89,8 @@ class TestErrorModels_ObjDet:
         num_classes: int | None = None,
         dl_shuffle: bool = False,
         device: str = "cpu",
+        workers: int = 1,
+        num_shards: int | None = None,
     ):
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
@@ -91,6 +101,8 @@ class TestErrorModels_ObjDet:
         self.input_shape = tuple(input_shape)
         self.dl_shuffle = dl_shuffle
         self.device = device
+        self.workers = workers
+        self.num_shards = num_shards
         if num_classes is not None:
             self.num_classes = num_classes
         elif hasattr(dataset, "num_classes"):
@@ -108,6 +120,9 @@ class TestErrorModels_ObjDet:
         self.output_dir = Path(output_dir) if output_dir is not None else None
         self.wrapper: ptfiwrap | None = None
         self.resil_wrapper: ptfiwrap | None = None
+        # Campaign-wide applied-fault log, collected per group from the
+        # clone-free sessions (the injector's shared log stays empty).
+        self.applied_faults: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # campaign entry point
@@ -124,181 +139,83 @@ class TestErrorModels_ObjDet:
         Args mirror
         :meth:`TestErrorModels_ImgClass.test_rand_ImgClass_SBFs_inj`.
         """
-        scenario = self._base_scenario.copy(
-            dataset_size=len(self.dataset),
-            max_faults_per_image=num_faults,
-            inj_policy=inj_policy,
-            num_runs=num_runs,
-            model_name=self.model_name,
-            batch_size=1,
+        scenario = normalize_campaign_scenario(
+            self._base_scenario.copy(
+                max_faults_per_image=num_faults,
+                inj_policy=inj_policy,
+                num_runs=num_runs,
+                model_name=self.model_name,
+            ),
+            self.dataset,
         )
         self.wrapper = ptfiwrap(self.model, scenario=scenario, input_shape=self.input_shape)
         if fault_file:
             self.wrapper.update_scenario(fault_file=fault_file)
-        fault_matrix = self.wrapper.get_fault_matrix()
-        if self.resil_model is not None:
-            self.resil_wrapper = ptfiwrap(
-                self.resil_model, scenario=scenario, input_shape=self.input_shape
-            )
-            self.resil_wrapper.set_fault_matrix(fault_matrix)
-        loader = AlfiDataLoaderWrapper(
-            self.dataset, batch_size=1, shuffle=self.dl_shuffle, seed=scenario.random_seed
+
+        writer = (
+            CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
+            if self.output_dir is not None
+            else None
         )
-        return self._run_campaign(scenario, loader)
-
-    # ------------------------------------------------------------------ #
-    # campaign execution
-    # ------------------------------------------------------------------ #
-    def _run_campaign(
-        self,
-        scenario: ScenarioConfig,
-        loader: AlfiDataLoaderWrapper,
-    ) -> ObjDetCampaignOutput:
-        assert self.wrapper is not None
-        golden_predictions: list[dict] = []
-        corrupted_predictions: list[dict] = []
-        resil_predictions: list[dict] = []
-        resil_golden_predictions: list[dict] = []
-        targets: list[dict] = []
-        due_flags: list[bool] = []
-        golden_records: list[DetectionRecord] = []
-        corrupted_records: list[DetectionRecord] = []
-        resil_records: list[DetectionRecord] = []
-
-        group_index = 0
-        for epoch in range(scenario.num_runs):
-            for batch in loader:
-                record = batch[0]
-                image = record.image[None, ...]
-                target = record.target
-                golden_detection = self.model(image)[0]
-                # Snapshot the fault log first: weight faults are recorded while
-                # the corrupted model is built, neuron faults during inference.
-                applied_before = len(self.wrapper.fault_injection.applied_faults)
-                corrupted_model = self.wrapper.corrupted_model_for_group(group_index)
-                monitor = InferenceMonitor(corrupted_model)
-                with monitor:
-                    corrupted_detection = corrupted_model(image)[0]
-                monitor_result = monitor.collect()
-                applied = [
-                    fault.as_dict()
-                    for fault in self.wrapper.fault_injection.applied_faults[applied_before:]
-                ]
-                nan_detected = monitor_result.nan_detected or corrupted_detection.has_nan_or_inf()
-                inf_detected = monitor_result.inf_detected or corrupted_detection.has_nan_or_inf()
-
-                golden_predictions.append(_detection_to_dict(golden_detection))
-                corrupted_predictions.append(_detection_to_dict(corrupted_detection))
-                targets.append(
-                    {
-                        "boxes": np.asarray(target["boxes"], dtype=np.float32),
-                        "labels": np.asarray(target["labels"], dtype=np.int64),
-                        "image_id": record.image_id,
-                        "file_name": record.file_name,
-                    }
-                )
-                due_flags.append(bool(nan_detected or inf_detected))
-
-                golden_records.append(
-                    self._make_record(record, golden_detection, [], False, False, "golden")
-                )
-                corrupted_records.append(
-                    self._make_record(
-                        record, corrupted_detection, applied, nan_detected, inf_detected, "corrupted"
-                    )
-                )
-                if self.resil_wrapper is not None:
-                    # Judge the hardened detector against its own fault-free run.
-                    resil_golden_predictions.append(
-                        _detection_to_dict(self.resil_model(image)[0])
-                    )
-                    resil_model = self.resil_wrapper.corrupted_model_for_group(group_index)
-                    resil_detection = resil_model(image)[0]
-                    resil_predictions.append(_detection_to_dict(resil_detection))
-                    resil_records.append(
-                        self._make_record(
-                            record,
-                            resil_detection,
-                            applied,
-                            resil_detection.has_nan_or_inf(),
-                            resil_detection.has_nan_or_inf(),
-                            "resil",
-                        )
-                    )
-                group_index += 1
+        task = DetectionTask(collect_applied_log=True)
+        core = CampaignCore(
+            self.model,
+            self.dataset,
+            task,
+            scenario=scenario,
+            writer=writer,
+            input_shape=self.input_shape,
+            dl_shuffle=self.dl_shuffle,
+            resil_model=self.resil_model,
+            wrapper=self.wrapper,
+        )
+        self.resil_wrapper = core.resil_wrapper
+        executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)
+        state, stream_paths = executor.run()
+        self.applied_faults = list(state.applied_log)
 
         corrupted_result = evaluate_detection_campaign(
-            golden_predictions,
-            corrupted_predictions,
-            targets,
+            state.golden_predictions,
+            state.corrupted_predictions,
+            state.targets,
             self.num_classes,
             model_name=self.model_name,
-            due_flags=due_flags,
+            due_flags=state.due_flags,
         )
         resil_result = None
-        if resil_predictions:
+        if state.resil_predictions:
             resil_result = evaluate_detection_campaign(
-                resil_golden_predictions,
-                resil_predictions,
-                targets,
+                state.resil_golden_predictions,
+                state.resil_predictions,
+                state.targets,
                 self.num_classes,
                 model_name=f"{self.model_name}_resil",
             )
         output_files = self._write_outputs(
-            scenario,
-            targets,
-            golden_records,
-            corrupted_records,
-            resil_records,
-            corrupted_result,
-            resil_result,
+            writer, scenario, stream_paths, state.targets, corrupted_result, resil_result
         )
         return ObjDetCampaignOutput(
             corrupted=corrupted_result,
             resil=resil_result,
-            golden_predictions=golden_predictions,
-            corrupted_predictions=corrupted_predictions,
-            resil_predictions=resil_predictions or None,
-            targets=targets,
-            due_flags=due_flags,
+            golden_predictions=state.golden_predictions,
+            corrupted_predictions=state.corrupted_predictions,
+            resil_predictions=state.resil_predictions or None,
+            targets=state.targets,
+            due_flags=state.due_flags,
             output_files=output_files,
-        )
-
-    def _make_record(
-        self,
-        record,
-        detection: Detection,
-        applied: list[dict],
-        nan_detected: bool,
-        inf_detected: bool,
-        tag: str,
-    ) -> DetectionRecord:
-        as_dict = detection.as_dict()
-        return DetectionRecord(
-            image_id=record.image_id,
-            file_name=record.file_name,
-            boxes=as_dict["boxes"],
-            scores=as_dict["scores"],
-            labels=as_dict["labels"],
-            fault_positions=applied,
-            nan_detected=bool(nan_detected),
-            inf_detected=bool(inf_detected),
-            model_tag=tag,
         )
 
     def _write_outputs(
         self,
+        writer: CampaignResultWriter | None,
         scenario: ScenarioConfig,
+        stream_paths: dict[str, str],
         targets: list[dict],
-        golden_records: list[DetectionRecord],
-        corrupted_records: list[DetectionRecord],
-        resil_records: list[DetectionRecord],
         corrupted_result: DetectionCampaignResult,
         resil_result: DetectionCampaignResult | None,
     ) -> dict[str, str]:
-        if self.output_dir is None or self.wrapper is None:
+        if writer is None or self.wrapper is None:
             return {}
-        writer = CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
         serialisable_targets = [
             {
                 "image_id": int(target["image_id"]),
@@ -311,18 +228,10 @@ class TestErrorModels_ObjDet:
         paths = {
             "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
             "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
-            "applied_faults": str(
-                writer.write_applied_faults(
-                    [f.as_dict() for f in self.wrapper.fault_injection.applied_faults]
-                )
-            ),
             "ground_truth": str(writer.write_ground_truth_json(serialisable_targets)),
-            "golden_json": str(writer.write_detection_json(golden_records, tag="golden")),
-            "corrupted_json": str(writer.write_detection_json(corrupted_records, tag="corrupted")),
+            **stream_paths,
         }
         kpis = {"corrupted": corrupted_result.as_dict()}
-        if resil_records:
-            paths["resil_json"] = str(writer.write_detection_json(resil_records, tag="resil"))
         if resil_result is not None:
             kpis["resil"] = resil_result.as_dict()
         paths["kpis"] = str(writer.write_kpi_summary(kpis))

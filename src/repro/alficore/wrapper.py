@@ -104,6 +104,7 @@ class ptfiwrap:
         input_shape: tuple[int, ...] = (3, 32, 32),
         config_dir: str | Path | None = None,
         rng: np.random.Generator | None = None,
+        fault_matrix: FaultMatrix | None = None,
     ):
         self.model = model
         self.input_shape = tuple(input_shape)
@@ -111,6 +112,7 @@ class ptfiwrap:
         self._rng = rng if rng is not None else np.random.default_rng(self._scenario.random_seed)
         self._fi: FaultInjection | None = None
         self._fault_matrix: FaultMatrix | None = None
+        self._initial_matrix = fault_matrix
         self._cursor = 0
         self._rebuild()
 
@@ -133,6 +135,13 @@ class ptfiwrap:
             input_shape=self.input_shape,
             layer_types=self._scenario.layer_types,
         )
+        if self._initial_matrix is not None:
+            # A pre-built matrix (e.g. handed to a shard worker) replaces the
+            # generation step exactly once; scenario changes regenerate.
+            matrix, self._initial_matrix = self._initial_matrix, None
+            self._fault_matrix = None
+            self.set_fault_matrix(matrix)
+            return
         if self._scenario.fault_file:
             self._fault_matrix = FaultMatrix.load(self._scenario.fault_file)
             if self._fault_matrix.injection_target != self._scenario.injection_target:
@@ -262,6 +271,8 @@ class ptfiwrap:
         self,
         error_model: ErrorModel | None = None,
         cycle: bool = False,
+        start: int | None = None,
+        stop: int | None = None,
     ) -> Iterator[WeightPatchSession | NeuronFaultGroup]:
         """Return an iterator over clone-free fault group sessions.
 
@@ -276,9 +287,23 @@ class ptfiwrap:
         Args:
             error_model: overrides the error model derived from the scenario.
             cycle: restart from the first fault group after the last one.
+            start: first fault group to yield.  When given, the iterator is
+                *shard-scoped*: it walks the explicit range ``[start, stop)``
+                with a local cursor and leaves the wrapper's shared cursor
+                untouched, so parallel campaign shards can each consume their
+                own contiguous slice of the same fault matrix.
+            stop: end of the shard-scoped range (exclusive; clipped to the
+                number of fault groups).  Only valid together with ``start``.
         """
         error_model = error_model if error_model is not None else _error_model_from_scenario(self._scenario)
-        return self._session_generator(error_model, cycle)
+        if start is None and stop is None:
+            return self._session_generator(error_model, cycle)
+        if start is None or start < 0:
+            raise ValueError(f"shard-scoped iteration needs a non-negative start, got {start}")
+        if cycle:
+            raise ValueError("cycle is not supported for shard-scoped fault group ranges")
+        stop = self.num_fault_groups() if stop is None else min(stop, self.num_fault_groups())
+        return self._ranged_session_generator(error_model, start, stop)
 
     def _session_generator(
         self, error_model: ErrorModel, cycle: bool
@@ -290,22 +315,61 @@ class ptfiwrap:
                     if not cycle:
                         return
                     self._cursor = 0
-                columns = self._group_columns(self._cursor)
+                group_index = self._cursor
                 self._cursor += 1
-                matrix = self.get_fault_matrix()
-                if self._scenario.injection_target == "neurons":
-                    if neuron_session is None:
-                        neuron_session = self.fault_injection.neuron_injection_session(
-                            error_model=error_model, rng=self._rng
-                        )
-                    yield neuron_session.activate(matrix.to_neuron_faults(columns))
-                else:
-                    yield self.fault_injection.weight_patch_session(
-                        matrix.to_weight_faults(columns), error_model=error_model, rng=self._rng
-                    )
+                neuron_session, group = self._group_session(group_index, error_model, neuron_session)
+                yield group
         finally:
             if neuron_session is not None:
                 neuron_session.close()
+
+    def _ranged_session_generator(
+        self, error_model: ErrorModel, start: int, stop: int
+    ) -> Iterator[WeightPatchSession | NeuronFaultGroup]:
+        neuron_session: NeuronInjectionSession | None = None
+        try:
+            for group_index in range(start, stop):
+                neuron_session, group = self._group_session(group_index, error_model, neuron_session)
+                yield group
+        finally:
+            if neuron_session is not None:
+                neuron_session.close()
+
+    def _group_rng(self, group_index: int) -> np.random.Generator:
+        """Per-group injection rng, derived from ``(random_seed, group_index)``.
+
+        The built-in error models replay values pre-drawn in the fault
+        matrix, but a *custom* error model may draw from the rng at apply
+        time.  Deriving the stream per group (instead of consuming one
+        shared stream in iteration order) makes every group's corruption
+        independent of which groups ran before it — which is what lets a
+        sharded campaign reproduce a serial run bit-exactly for any error
+        model.
+        """
+        return np.random.default_rng((abs(int(self._scenario.random_seed)), group_index))
+
+    def _group_session(
+        self,
+        group_index: int,
+        error_model: ErrorModel,
+        neuron_session: NeuronInjectionSession | None,
+    ) -> tuple[NeuronInjectionSession | None, WeightPatchSession | NeuronFaultGroup]:
+        """Build the clone-free session of one group, reusing the neuron clone."""
+        columns = self._group_columns(group_index)
+        matrix = self.get_fault_matrix()
+        if self._scenario.injection_target == "neurons":
+            if neuron_session is None:
+                neuron_session = self.fault_injection.neuron_injection_session(
+                    error_model=error_model, rng=self._rng
+                )
+            return neuron_session, neuron_session.activate(
+                matrix.to_neuron_faults(columns), rng=self._group_rng(group_index)
+            )
+        return neuron_session, self.fault_injection.weight_patch_session(
+            matrix.to_weight_faults(columns),
+            error_model=error_model,
+            rng=self._group_rng(group_index),
+        )
 
     def fault_group_session(
         self,
@@ -330,9 +394,13 @@ class ptfiwrap:
             session = self.fault_injection.neuron_injection_session(
                 error_model=error_model, rng=self._rng
             )
-            return session.activate(matrix.to_neuron_faults(columns))
+            return session.activate(
+                matrix.to_neuron_faults(columns), rng=self._group_rng(group_index)
+            )
         return self.fault_injection.weight_patch_session(
-            matrix.to_weight_faults(columns), error_model=error_model, rng=self._rng
+            matrix.to_weight_faults(columns),
+            error_model=error_model,
+            rng=self._group_rng(group_index),
         )
 
     def _corrupt_with_columns(self, columns: list[int], error_model: ErrorModel) -> Module:

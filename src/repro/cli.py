@@ -41,6 +41,14 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-faults", type=int, default=1, help="faults per image")
     parser.add_argument("--num-runs", type=int, default=1, help="epochs over the dataset")
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="images per batch (per_batch/per_epoch policies; per_image always uses 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sharded campaign execution (1 = serial)",
+    )
+    parser.add_argument(
         "--target", choices=("neurons", "weights"), default="weights", help="fault injection target"
     )
     parser.add_argument(
@@ -66,12 +74,43 @@ def _scenario_from_args(args: argparse.Namespace):
         scenario = load_scenario(args.scenario)
     else:
         scenario = default_scenario()
-    return scenario.copy(
-        injection_target=args.target,
-        rnd_value_type=args.value_type,
-        rnd_bit_range=tuple(args.bit_range),
-        random_seed=args.seed,
+    overrides = {
+        "injection_target": args.target,
+        "rnd_value_type": args.value_type,
+        "rnd_bit_range": tuple(args.bit_range),
+        "random_seed": args.seed,
+    }
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    return scenario.copy(**overrides)
+
+
+def _run_campaign(runner_cls, args: argparse.Namespace, **runner_kwargs):
+    """Shared campaign plumbing of the ``run-imgclass``/``run-objdet`` commands."""
+    runner = runner_cls(
+        model_name=args.model,
+        scenario=_scenario_from_args(args),
+        output_dir=args.output_dir,
+        workers=args.workers,
+        **runner_kwargs,
     )
+    run = (
+        runner.test_rand_ImgClass_SBFs_inj
+        if runner_cls is TestErrorModels_ImgClass
+        else runner.test_rand_ObjDet_SBFs_inj
+    )
+    return run(
+        fault_file=args.fault_file,
+        num_faults=args.num_faults,
+        inj_policy=args.inj_policy,
+        num_runs=args.num_runs,
+    )
+
+
+def _print_result_files(output_files: dict[str, str]) -> None:
+    print("\nresult files:")
+    for kind, path in output_files.items():
+        print(f"  {kind:15s} {path}")
 
 
 def _cmd_run_imgclass(args: argparse.Namespace) -> int:
@@ -87,20 +126,8 @@ def _cmd_run_imgclass(args: argparse.Namespace) -> int:
         bounds = collect_activation_bounds(model, [calibration])
         resil_model = apply_protection(model, bounds, args.protection)
 
-    scenario = _scenario_from_args(args)
-    runner = TestErrorModels_ImgClass(
-        model=model,
-        resil_model=resil_model,
-        model_name=args.model,
-        dataset=dataset,
-        scenario=scenario,
-        output_dir=args.output_dir,
-    )
-    output = runner.test_rand_ImgClass_SBFs_inj(
-        fault_file=args.fault_file,
-        num_faults=args.num_faults,
-        inj_policy=args.inj_policy,
-        num_runs=args.num_runs,
+    output = _run_campaign(
+        TestErrorModels_ImgClass, args, model=model, resil_model=resil_model, dataset=dataset
     )
 
     rows = [
@@ -129,9 +156,7 @@ def _cmd_run_imgclass(args: argparse.Namespace) -> int:
             title=f"{args.model}: {args.target} fault injection ({args.num_faults} fault(s)/image)",
         )
     )
-    print("\nresult files:")
-    for kind, path in output.output_files.items():
-        print(f"  {kind:15s} {path}")
+    _print_result_files(output.output_files)
     return 0
 
 
@@ -140,20 +165,8 @@ def _cmd_run_objdet(args: argparse.Namespace) -> int:
         num_samples=args.images, num_classes=args.num_classes, seed=args.data_seed
     )
     model = build_detector(args.model, num_classes=args.num_classes, seed=args.model_seed).eval()
-    scenario = _scenario_from_args(args)
-    runner = TestErrorModels_ObjDet(
-        model=model,
-        model_name=args.model,
-        dataset=dataset,
-        scenario=scenario,
-        output_dir=args.output_dir,
-        input_shape=(3, 64, 64),
-    )
-    output = runner.test_rand_ObjDet_SBFs_inj(
-        fault_file=args.fault_file,
-        num_faults=args.num_faults,
-        inj_policy=args.inj_policy,
-        num_runs=args.num_runs,
+    output = _run_campaign(
+        TestErrorModels_ObjDet, args, model=model, dataset=dataset, input_shape=(3, 64, 64)
     )
     ivmod = output.corrupted.ivmod
     print(
@@ -165,9 +178,7 @@ def _cmd_run_objdet(args: argparse.Namespace) -> int:
     )
     print(f"\ngolden mAP@0.5:    {output.corrupted.golden_map['mAP']:.4f}")
     print(f"corrupted mAP@0.5: {output.corrupted.corrupted_map['mAP']:.4f}")
-    print("\nresult files:")
-    for kind, path in output.output_files.items():
-        print(f"  {kind:15s} {path}")
+    _print_result_files(output.output_files)
     return 0
 
 

@@ -106,15 +106,45 @@ class AlfiDataLoaderWrapper:
             target=target,
         )
 
-    def __iter__(self) -> Iterator[list[ImageRecord]]:
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        """Dataset index order of one epoch (the seeded shuffle permutation).
+
+        The permutation depends only on ``(seed, epoch)``, so any process can
+        reproduce the exact batch order of any epoch — this is what makes
+        sharded campaign execution bit-identical to a serial run.
+        """
         indices = np.arange(len(self.dataset))
         if self.shuffle:
-            rng = np.random.default_rng(self.seed + self._epoch)
+            rng = np.random.default_rng(self.seed + epoch)
             rng.shuffle(indices)
-        self._epoch += 1
-        for start in range(0, len(indices), self.batch_size):
+        return indices
+
+    def iter_batches(
+        self,
+        epoch: int,
+        start_batch: int = 0,
+        stop_batch: int | None = None,
+    ) -> Iterator[list[ImageRecord]]:
+        """Yield the batches ``[start_batch, stop_batch)`` of an explicit epoch.
+
+        Unlike ``__iter__`` this does not advance the internal epoch counter
+        and never materialises records outside the requested range, so a
+        campaign shard can jump straight to its slice of the epoch.
+        """
+        if start_batch < 0:
+            raise ValueError(f"start_batch must be non-negative, got {start_batch}")
+        num_batches = len(self)
+        stop_batch = num_batches if stop_batch is None else min(stop_batch, num_batches)
+        indices = self.epoch_indices(epoch)
+        for batch_index in range(start_batch, stop_batch):
+            start = batch_index * self.batch_size
             batch_indices = indices[start : start + self.batch_size]
             yield [self._record(int(i)) for i in batch_indices]
+
+    def __iter__(self) -> Iterator[list[ImageRecord]]:
+        epoch = self._epoch
+        self._epoch += 1
+        yield from self.iter_batches(epoch)
 
     @staticmethod
     def stack_images(batch: list[ImageRecord]) -> np.ndarray:

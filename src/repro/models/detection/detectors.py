@@ -58,10 +58,20 @@ class Detection:
             "labels": np.asarray(self.labels, dtype=int).reshape(-1).tolist(),
         }
 
+    def _value_arrays(self) -> list[np.ndarray]:
+        return [np.asarray(self.boxes, dtype=np.float64), np.asarray(self.scores, dtype=np.float64)]
+
+    def has_nan(self) -> bool:
+        """True if any box coordinate or score is NaN."""
+        return any(bool(np.isnan(v).any()) for v in self._value_arrays() if v.size)
+
+    def has_inf(self) -> bool:
+        """True if any box coordinate or score is infinite."""
+        return any(bool(np.isinf(v).any()) for v in self._value_arrays() if v.size)
+
     def has_nan_or_inf(self) -> bool:
         """True if any box coordinate or score is NaN or infinite."""
-        values = [np.asarray(self.boxes, dtype=np.float64), np.asarray(self.scores, dtype=np.float64)]
-        return any(not np.isfinite(v).all() for v in values if v.size)
+        return self.has_nan() or self.has_inf()
 
 
 def _conv_block(in_channels: int, out_channels: int, rng: np.random.Generator, stride: int = 1) -> nn.Sequential:

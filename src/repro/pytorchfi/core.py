@@ -731,6 +731,9 @@ class NeuronInjectionSession:
         self._fi = fi
         self._error_model = error_model if error_model is not None else BitFlipErrorModel()
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Active-group rng; swapped by NeuronFaultGroup when a group carries
+        # its own (per-group-derived) stream.
+        self._active_rng = self._rng
         self.model = fi.original_model.clone()
         self.model.eval()
         self._active: dict[int, list[NeuronFault]] = {}
@@ -748,7 +751,7 @@ class NeuronInjectionSession:
             output = np.asarray(output)
             for fault in faults:
                 self._fi._corrupt_neuron_at(
-                    output, info, fault, self._error_model, self._rng, self._log
+                    output, info, fault, self._error_model, self._active_rng, self._log
                 )
             return output
 
@@ -773,9 +776,19 @@ class NeuronInjectionSession:
         log, self._log = self._log, []
         return log
 
-    def activate(self, faults: Iterable[NeuronFault]) -> "NeuronFaultGroup":
-        """Return a context manager scoping one fault group on this session."""
-        return NeuronFaultGroup(self, list(faults))
+    def activate(
+        self,
+        faults: Iterable[NeuronFault],
+        rng: np.random.Generator | None = None,
+    ) -> "NeuronFaultGroup":
+        """Return a context manager scoping one fault group on this session.
+
+        Args:
+            faults: the group's neuron faults.
+            rng: optional group-specific rng used while the group is active
+                (the session's own rng otherwise).
+        """
+        return NeuronFaultGroup(self, list(faults), rng=rng)
 
     def close(self) -> None:
         """Remove the injection hooks (the session becomes inert)."""
@@ -799,9 +812,15 @@ class NeuronFaultGroup:
     injection targets uniformly.
     """
 
-    def __init__(self, session: NeuronInjectionSession, faults: list[NeuronFault]):
+    def __init__(
+        self,
+        session: NeuronInjectionSession,
+        faults: list[NeuronFault],
+        rng: np.random.Generator | None = None,
+    ):
         self._session = session
         self._faults = faults
+        self._rng = rng
         self.applied_faults: list[AppliedFault] = []
 
     @property
@@ -811,6 +830,7 @@ class NeuronFaultGroup:
 
     def __enter__(self) -> "NeuronFaultGroup":
         self._session.set_faults(self._faults)
+        self._session._active_rng = self._rng if self._rng is not None else self._session._rng
         # Bind the session log to this group so hook records land here.
         self.applied_faults = self._session._log = []
         return self

@@ -46,7 +46,9 @@ class TestObjDetCampaign:
         )
         output = runner.test_rand_ObjDet_SBFs_inj(num_faults=1)
         assert output.corrupted.num_images == len(dataset)
-        assert len(runner.wrapper.fault_injection.applied_faults) == len(dataset)
+        # The sessions log per group; the injector's shared log stays empty.
+        assert len(runner.applied_faults) == len(dataset)
+        assert runner.wrapper.fault_injection.applied_faults == []
 
     def test_output_files_written(self, detection_setup, tmp_path):
         model, dataset = detection_setup

@@ -1,0 +1,387 @@
+"""Shard-merge determinism of the sharded campaign executor.
+
+The contract under test: for the same seed, a campaign partitioned into N
+shards (run in-process or via a worker pool) produces *byte-identical* merged
+record files and equal KPI summaries compared to a single-process run, and
+weight campaigns restore the model bit-exactly regardless of sharding.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.alficore import (
+    CampaignResultWriter,
+    CampaignRunner,
+    TestErrorModels_ImgClass,
+    TestErrorModels_ObjDet,
+    default_scenario,
+)
+from repro.alficore.campaign import ShardedCampaignExecutor
+from repro.alficore.results import merge_csv_files, merge_json_array_files
+from repro.alficore.wrapper import ptfiwrap
+from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.models import lenet5
+from repro.models.detection import yolov3_tiny
+from repro.models.pretrained import fit_classifier_head
+from repro.tensor.bitops import float_to_bits
+
+TestErrorModels_ImgClass.__test__ = False
+TestErrorModels_ObjDet.__test__ = False
+
+
+@pytest.fixture(scope="module")
+def fitted_model_and_dataset():
+    dataset = SyntheticClassificationDataset(num_samples=12, num_classes=10, noise=0.2, seed=5)
+    model = fit_classifier_head(lenet5(seed=1), dataset, 10)
+    return model, dataset
+
+
+@pytest.fixture(scope="module")
+def detection_setup():
+    dataset = CocoLikeDetectionDataset(num_samples=6, num_classes=5, seed=3)
+    model = yolov3_tiny(num_classes=5, seed=0).eval()
+    return model, dataset
+
+
+def _file_bytes(path: str | Path) -> bytes:
+    return Path(path).read_bytes()
+
+
+class TestShardBounds:
+    def test_bounds_are_contiguous_and_balanced(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", random_seed=1, num_runs=2)
+        runner = CampaignRunner(model, dataset, scenario=scenario)
+        executor = ShardedCampaignExecutor(runner.core, workers=1, num_shards=5)
+        bounds = executor.shard_bounds()
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == runner.core.total_steps
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_steps_is_clamped(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        runner = CampaignRunner(
+            model, dataset, scenario=default_scenario(injection_target="weights", random_seed=1)
+        )
+        executor = ShardedCampaignExecutor(runner.core, workers=1, num_shards=1000)
+        assert executor.num_shards == runner.core.total_steps
+        summary = runner.run()
+        assert summary.num_inferences == len(dataset)
+
+
+class TestClassificationShardEquivalence:
+    @pytest.mark.parametrize("workers,num_shards", [(1, 3), (3, 3)])
+    def test_sharded_matches_serial_byte_identically(
+        self, fitted_model_and_dataset, tmp_path, workers, num_shards
+    ):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(
+            injection_target="weights", rnd_bit_range=(23, 30), random_seed=7, model_name="shard"
+        )
+
+        def run(sub: str, workers: int, num_shards: int):
+            writer = CampaignResultWriter(tmp_path / sub, campaign_name="shard")
+            runner = CampaignRunner(
+                model, dataset, scenario=scenario, writer=writer,
+                workers=workers, num_shards=num_shards,
+            )
+            return runner.run()
+
+        serial = run("serial", 1, 1)
+        sharded = run(f"sharded_{workers}x{num_shards}", workers, num_shards)
+
+        for tag in ("golden_csv", "corrupted_csv", "applied_faults", "faults", "meta"):
+            assert _file_bytes(serial.output_files[tag]) == _file_bytes(sharded.output_files[tag])
+        serial_kpis = serial.as_dict()
+        sharded_kpis = sharded.as_dict()
+        serial_kpis.pop("output_files")
+        sharded_kpis.pop("output_files")
+        assert serial_kpis == sharded_kpis
+
+    def test_sharded_neuron_campaign_matches_serial(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="neurons", random_seed=8)
+        serial = CampaignRunner(model, dataset, scenario=scenario).run()
+        sharded = CampaignRunner(model, dataset, scenario=scenario, workers=2, num_shards=4).run()
+        assert serial.as_dict() == sharded.as_dict()
+
+    def test_sharded_per_epoch_campaign_matches_serial(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(
+            injection_target="weights",
+            inj_policy="per_epoch",
+            batch_size=4,
+            num_runs=3,
+            random_seed=9,
+        )
+        serial = CampaignRunner(model, dataset, scenario=scenario).run()
+        # Shard boundaries intentionally cut through epochs (9 steps over 4 shards).
+        sharded = CampaignRunner(model, dataset, scenario=scenario, workers=1, num_shards=4).run()
+        assert serial.num_fault_groups == sharded.num_fault_groups == 3
+        assert serial.as_dict() == sharded.as_dict()
+
+    def test_sharded_shuffled_campaign_matches_serial(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", num_runs=2, random_seed=10)
+        serial = CampaignRunner(model, dataset, scenario=scenario, dl_shuffle=True).run()
+        sharded = CampaignRunner(
+            model, dataset, scenario=scenario, dl_shuffle=True, workers=1, num_shards=3
+        ).run()
+        assert serial.as_dict() == sharded.as_dict()
+
+    def test_weights_restored_bit_exactly_after_sharded_campaign(
+        self, fitted_model_and_dataset
+    ):
+        model, dataset = fitted_model_and_dataset
+        bits_before = {n: float_to_bits(p.data).copy() for n, p in model.named_parameters()}
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(23, 30), random_seed=11)
+        # In-process shards patch the parent's model object; worker-pool shards
+        # patch copies.  Both must leave the parent model bit-exact.
+        for workers, num_shards in ((1, 3), (2, 2)):
+            CampaignRunner(
+                model, dataset, scenario=scenario, workers=workers, num_shards=num_shards
+            ).run()
+            for name, param in model.named_parameters():
+                np.testing.assert_array_equal(bits_before[name], float_to_bits(param.data))
+
+
+class TestDetectionShardEquivalence:
+    def test_three_shard_campaign_matches_single_process_byte_identically(
+        self, detection_setup, tmp_path
+    ):
+        model, dataset = detection_setup
+        scenario = default_scenario(
+            injection_target="weights", rnd_bit_range=(23, 30), random_seed=12
+        )
+
+        def run(sub: str, workers: int, num_shards: int | None):
+            runner = TestErrorModels_ObjDet(
+                model=model,
+                model_name="det",
+                dataset=dataset,
+                scenario=scenario,
+                output_dir=tmp_path / sub,
+                workers=workers,
+                num_shards=num_shards,
+            )
+            return runner.test_rand_ObjDet_SBFs_inj(num_faults=1)
+
+        serial = run("serial", 1, None)
+        sharded = run("sharded", 3, 3)
+
+        for tag in ("golden_json", "corrupted_json", "applied_faults", "ground_truth", "faults"):
+            assert _file_bytes(serial.output_files[tag]) == _file_bytes(sharded.output_files[tag])
+        assert serial.corrupted.as_dict() == sharded.corrupted.as_dict()
+        assert serial.due_flags == sharded.due_flags
+        # Per-shard record files are kept next to the merged output.
+        shard_dirs = sorted((tmp_path / "sharded" / "shards").iterdir())
+        assert len(shard_dirs) == 3
+        merged = json.loads(_file_bytes(sharded.output_files["corrupted_json"]))
+        per_shard = [
+            json.loads((d / "det_corrupted_results.json").read_text()) for d in shard_dirs
+        ]
+        assert [len(records) for records in per_shard] == [2, 2, 2]
+        assert [r for records in per_shard for r in records] == merged
+
+    def test_sharded_weight_campaign_restores_detector_bit_exactly(self, detection_setup):
+        model, dataset = detection_setup
+        bits_before = {n: float_to_bits(p.data).copy() for n, p in model.named_parameters()}
+        scenario = default_scenario(injection_target="weights", random_seed=13)
+        runner = TestErrorModels_ObjDet(
+            model=model, model_name="restore", dataset=dataset, scenario=scenario,
+            workers=1, num_shards=3,
+        )
+        runner.test_rand_ObjDet_SBFs_inj(num_faults=2)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(bits_before[name], float_to_bits(param.data))
+
+    def test_sharded_resil_campaign_matches_serial(self, fitted_model_and_dataset, tmp_path):
+        model, dataset = fitted_model_and_dataset
+        hardened = model.clone()
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(30, 30), random_seed=17)
+
+        def run(sub: str, workers: int, num_shards: int | None):
+            runner = TestErrorModels_ImgClass(
+                model=model, resil_model=hardened, model_name="resil", dataset=dataset,
+                scenario=scenario, output_dir=tmp_path / sub,
+                workers=workers, num_shards=num_shards,
+            )
+            return runner.test_rand_ImgClass_SBFs_inj(num_faults=1)
+
+        serial = run("serial", 1, None)
+        sharded = run("sharded", 2, 3)
+        assert serial.resil is not None and sharded.resil is not None
+        np.testing.assert_array_equal(serial.resil_logits, sharded.resil_logits)
+        assert serial.resil.as_dict() == sharded.resil.as_dict()
+        assert _file_bytes(serial.output_files["resil_csv"]) == _file_bytes(
+            sharded.output_files["resil_csv"]
+        )
+
+    def test_per_epoch_resil_campaign_consumes_one_group_per_epoch(
+        self, fitted_model_and_dataset
+    ):
+        # Regression: the resil lane must follow the injection policy — with
+        # per_epoch and multiple batches per epoch it used to pull one fault
+        # group per *step* and exhaust the matrix mid-campaign.
+        model, dataset = fitted_model_and_dataset
+        hardened = model.clone()
+        scenario = default_scenario(
+            injection_target="weights",
+            inj_policy="per_epoch",
+            batch_size=4,
+            num_runs=2,
+            rnd_bit_range=(23, 30),
+            random_seed=18,
+        )
+        runner = TestErrorModels_ImgClass(
+            model=model, resil_model=hardened, model_name="epochresil",
+            dataset=dataset, scenario=scenario,
+        )
+        serial = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_epoch", num_runs=2)
+        assert serial.resil is not None
+        assert len(serial.resil_logits) == 2 * len(dataset)
+        sharded = TestErrorModels_ImgClass(
+            model=model, resil_model=hardened, model_name="epochresil",
+            dataset=dataset, scenario=scenario, workers=1, num_shards=3,
+        ).test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_epoch", num_runs=2)
+        np.testing.assert_array_equal(serial.resil_logits, sharded.resil_logits)
+
+    def test_custom_stochastic_error_model_is_shard_deterministic(
+        self, fitted_model_and_dataset, tmp_path
+    ):
+        # Regression: per-group rng derivation — an error model that draws
+        # from the rng at apply time must corrupt identically whether groups
+        # run serially or split across shards.
+        from repro.pytorchfi.errormodels import RandomValueErrorModel
+
+        model, dataset = fitted_model_and_dataset
+
+        class DrawingErrorModel(RandomValueErrorModel):
+            """Bypasses the fault matrix's pre-drawn value replay."""
+
+            name = "custom_random"
+
+        scenario = default_scenario(injection_target="weights", random_seed=19, model_name="rngdet")
+
+        def run(sub: str, num_shards: int):
+            writer = CampaignResultWriter(tmp_path / sub, campaign_name="rngdet")
+            runner = CampaignRunner(
+                model, dataset, scenario=scenario, writer=writer,
+                error_model=DrawingErrorModel(-1, 1), workers=1, num_shards=num_shards,
+            )
+            return runner.run()
+
+        serial = run("serial", 1)
+        sharded = run("sharded", 3)
+        assert _file_bytes(serial.output_files["applied_faults"]) == _file_bytes(
+            sharded.output_files["applied_faults"]
+        )
+        assert _file_bytes(serial.output_files["corrupted_csv"]) == _file_bytes(
+            sharded.output_files["corrupted_csv"]
+        )
+
+    def test_sharded_imgclass_facade_matches_serial(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="weights", rnd_bit_range=(23, 30), random_seed=14)
+        serial = TestErrorModels_ImgClass(
+            model=model, model_name="f", dataset=dataset, scenario=scenario
+        ).test_rand_ImgClass_SBFs_inj(num_faults=1)
+        sharded = TestErrorModels_ImgClass(
+            model=model, model_name="f", dataset=dataset, scenario=scenario, workers=2, num_shards=3
+        ).test_rand_ImgClass_SBFs_inj(num_faults=1)
+        np.testing.assert_array_equal(serial.golden_logits, sharded.golden_logits)
+        np.testing.assert_array_equal(serial.corrupted_logits, sharded.corrupted_logits)
+        np.testing.assert_array_equal(serial.labels, sharded.labels)
+        assert serial.corrupted.as_dict() == sharded.corrupted.as_dict()
+
+
+class TestShardScopedIterators:
+    def test_ranged_group_iter_leaves_shared_cursor_untouched(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(
+            dataset_size=len(dataset), injection_target="weights", random_seed=15
+        )
+        wrapper = ptfiwrap(model, scenario=scenario)
+        ranged = list(wrapper.get_fault_group_iter(start=3, stop=7))
+        assert len(ranged) == 4
+        assert wrapper._cursor == 0
+        full = list(wrapper.get_fault_group_iter())
+        assert len(full) == wrapper.num_fault_groups()
+
+    def test_ranged_group_iter_matches_explicit_group_sessions(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(
+            dataset_size=len(dataset), injection_target="weights", random_seed=16
+        )
+        wrapper = ptfiwrap(model, scenario=scenario)
+        for offset, group in enumerate(wrapper.get_fault_group_iter(start=2, stop=5)):
+            with group:
+                ranged_applied = [f.as_dict() for f in group.applied_faults]
+            with wrapper.fault_group_session(2 + offset) as explicit:
+                pass
+            assert ranged_applied == [f.as_dict() for f in explicit.applied_faults]
+
+    def test_ranged_group_iter_rejects_bad_ranges(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        wrapper = ptfiwrap(
+            model, scenario=default_scenario(dataset_size=len(dataset), injection_target="weights")
+        )
+        with pytest.raises(ValueError):
+            wrapper.get_fault_group_iter(start=-1, stop=2)
+        with pytest.raises(ValueError):
+            wrapper.get_fault_group_iter(start=0, stop=2, cycle=True)
+        with pytest.raises(ValueError):
+            wrapper.get_fault_group_iter(stop=2)
+
+
+class TestMergeHelpers:
+    def test_csv_merge_skips_empty_shards_and_extra_headers(self, tmp_path):
+        from repro.alficore.results import CsvRecordStream
+
+        rows = [{"a": i, "b": f"x{i}"} for i in range(5)]
+        single = tmp_path / "single.csv"
+        with CsvRecordStream(single) as stream:
+            for row in rows:
+                stream.write(row)
+        shard_paths = []
+        for index, chunk in enumerate(([rows[0], rows[1]], [], rows[2:])):
+            path = tmp_path / f"shard_{index}.csv"
+            with CsvRecordStream(path) as stream:
+                for row in chunk:
+                    stream.write(row)
+            shard_paths.append(path)
+        merged = merge_csv_files(shard_paths, tmp_path / "merged.csv")
+        assert merged.read_bytes() == single.read_bytes()
+
+    def test_json_merge_is_byte_identical_to_single_stream(self, tmp_path):
+        from repro.alficore.results import JsonArrayStream
+
+        records = [{"i": i, "v": [i, i + 0.5]} for i in range(4)]
+        single = tmp_path / "single.json"
+        with JsonArrayStream(single) as stream:
+            for record in records:
+                stream.write(record)
+        shard_paths = []
+        for index, chunk in enumerate((records[:1], [], records[1:])):
+            path = tmp_path / f"shard_{index}.json"
+            with JsonArrayStream(path) as stream:
+                for record in chunk:
+                    stream.write(record)
+            shard_paths.append(path)
+        merged = merge_json_array_files(shard_paths, tmp_path / "merged.json")
+        assert merged.read_bytes() == single.read_bytes()
+
+    def test_json_merge_of_all_empty_shards_is_empty_array(self, tmp_path):
+        from repro.alficore.results import JsonArrayStream
+
+        path = tmp_path / "empty.json"
+        with JsonArrayStream(path):
+            pass
+        merged = merge_json_array_files([path], tmp_path / "merged.json")
+        assert merged.read_text() == "[]"

@@ -24,6 +24,15 @@ class TestParser:
         assert args.model == "yolov3"
         assert args.num_classes == 5
 
+    def test_batch_size_and_workers_accepted_by_both_subcommands(self):
+        for command in ("run-imgclass", "run-objdet"):
+            args = build_parser().parse_args([command, "--batch-size", "4", "--workers", "3"])
+            assert args.batch_size == 4
+            assert args.workers == 3
+            defaults = build_parser().parse_args([command])
+            assert defaults.batch_size is None
+            assert defaults.workers == 1
+
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run-imgclass", "--model", "gpt5"])
@@ -79,6 +88,33 @@ class TestImgClassCommand:
         analysis = json.loads(json_out.read_text())
         assert analysis["num_inferences"] == 8
         assert 0.0 <= analysis["sde_rate"] <= 1.0
+
+    def test_batch_size_reaches_the_scenario(self, tmp_path, capsys):
+        output_dir = tmp_path / "batched"
+        exit_code = main(
+            [
+                "run-imgclass",
+                "--model",
+                "lenet5",
+                "--images",
+                "8",
+                "--inj-policy",
+                "per_batch",
+                "--batch-size",
+                "4",
+                "--workers",
+                "2",
+                "--output-dir",
+                str(output_dir),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        import yaml
+
+        meta = yaml.safe_load((output_dir / "lenet5_scenario.yml").read_text())
+        assert meta["scenario"]["batch_size"] == 4
+        assert meta["scenario"]["inj_policy"] == "per_batch"
 
     def test_run_with_protection(self, tmp_path, capsys):
         exit_code = main(

@@ -49,6 +49,11 @@ class TestExamples:
         assert "IVMOD_SDE" in output
         assert (tmp_path / "examples_output" / "detection").exists()
 
+    def test_sharded_campaign(self, tmp_path, monkeypatch, capsys):
+        output = run_example("sharded_campaign.py", tmp_path, monkeypatch, capsys)
+        assert "Sharded campaign execution vs serial" in output
+        assert "bit-identical to serial run: True" in output
+
     @pytest.mark.slow
     def test_fault_reuse_and_mitigation(self, tmp_path, monkeypatch, capsys):
         output = run_example("fault_reuse_and_mitigation.py", tmp_path, monkeypatch, capsys)

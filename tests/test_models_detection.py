@@ -157,6 +157,26 @@ class TestDetection:
         )
         assert detection.has_nan_or_inf()
 
+    def test_nan_and_inf_attributed_separately(self):
+        nan_only = Detection(
+            boxes=np.array([[0.0, 0.0, np.nan, 5.0]]),
+            scores=np.array([0.8]),
+            labels=np.array([1]),
+        )
+        assert nan_only.has_nan() and not nan_only.has_inf()
+        inf_only = Detection(
+            boxes=np.array([[0.0, 0.0, 4.0, 5.0]]),
+            scores=np.array([np.inf]),
+            labels=np.array([1]),
+        )
+        assert inf_only.has_inf() and not inf_only.has_nan()
+        clean = Detection(
+            boxes=np.array([[0.0, 0.0, 4.0, 5.0]]),
+            scores=np.array([0.8]),
+            labels=np.array([1]),
+        )
+        assert not clean.has_nan() and not clean.has_inf()
+
 
 class TestDetectors:
     @pytest.mark.parametrize("factory", [yolov3_tiny, retinanet_lite, faster_rcnn_lite])
