@@ -13,6 +13,8 @@ values quoted in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +24,10 @@ from repro.models import alexnet, resnet50, vgg16
 from repro.models.pretrained import fit_classifier_head
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_campaign.json"
+
+# Quick mode (set REPRO_BENCH_QUICK=1): smaller campaigns for CI smoke jobs.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 # Campaign sizes: large enough for stable rates, small enough for minutes.
 CLASSIFICATION_IMAGES = 40
@@ -36,6 +42,59 @@ def report(experiment_id: str, text: str) -> None:
     banner = f"\n=== {experiment_id} ===\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def record_benchmark(
+    name: str,
+    wall_time: float | None = None,
+    throughput: float | None = None,
+    speedup_vs_reference: float | None = None,
+    **extra,
+) -> None:
+    """Append/update one machine-readable entry in ``BENCH_campaign.json``.
+
+    The free-form ``.txt`` tables are for humans; this file tracks the perf
+    trajectory (wall-time, throughput, speedup vs the reference strategy)
+    across PRs so regressions are diffable.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    entries: list[dict] = []
+    if BENCH_JSON.exists():
+        try:
+            loaded = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            loaded = []
+        if isinstance(loaded, list):
+            # Drop malformed (e.g. hand-edited) entries instead of tripping
+            # over them on every later benchmark run.
+            entries = [item for item in loaded if isinstance(item, dict) and "name" in item]
+    entry = next((item for item in entries if item["name"] == name), None)
+    if entry is None:
+        entry = {"name": name}
+        entries.append(entry)
+    if wall_time is not None:
+        entry["wall_time"] = wall_time
+    if throughput is not None:
+        entry["throughput"] = throughput
+    if speedup_vs_reference is not None:
+        entry["speedup_vs_reference"] = speedup_vs_reference
+    entry.update(extra)
+    entries.sort(key=lambda item: item["name"])
+    BENCH_JSON.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_autorecord(request):
+    """Record wall-time of every ``test_bench_*`` entry that timed something.
+
+    Entries that also report throughput/speedup call :func:`record_benchmark`
+    themselves; this fixture merges into the same JSON entry by test name.
+    """
+    yield
+    bench = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        record_benchmark(request.node.name, wall_time=stats.stats.mean)
 
 
 @pytest.fixture(scope="session")

@@ -43,6 +43,7 @@ from repro.alficore.campaign import (
     DetectionTask,
     ShardedCampaignExecutor,
 )
+from repro.alficore.goldencache import GoldenCache, GoldenCacheEntry
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario, save_scenario
 from repro.alficore.layerweights import layer_weight_factors, weighted_layer_choice
 from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator, NEURON_ROWS, WEIGHT_ROWS
@@ -70,6 +71,8 @@ __all__ = [
     "Clipper",
     "FaultMatrix",
     "FaultMatrixGenerator",
+    "GoldenCache",
+    "GoldenCacheEntry",
     "InferenceMonitor",
     "InjectionPolicy",
     "MonitorResult",

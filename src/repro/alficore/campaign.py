@@ -34,6 +34,7 @@ facade over ``CampaignCore`` + ``ClassificationTask`` and gained ``workers``
 from __future__ import annotations
 
 import copy
+import hashlib
 import multiprocessing
 from collections import Counter
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.alficore.goldencache import GoldenCache
 from repro.alficore.monitoring import MonitorCache, MonitorResult
 from repro.alficore.policies import InjectionPolicy
 from repro.alficore.results import (
@@ -56,6 +58,7 @@ from repro.alficore.wrapper import ptfiwrap
 from repro.data.wrapper import AlfiDataLoaderWrapper, ImageRecord
 from repro.eval.classification import top_k_predictions
 from repro.eval.sdc import FaultOutcome, classify_classification_outcome
+from repro.nn.forward_plan import ActivationArena, ForwardPlan
 from repro.nn.module import Module
 from repro.pytorchfi.errormodels import ErrorModel
 
@@ -140,6 +143,11 @@ class CampaignTask:
     """
 
     name = "task"
+    # Tasks whose ``infer`` is exactly ``finish(model(images))`` may be run
+    # through a :class:`~repro.nn.forward_plan.ForwardPlan` (prefix-reuse
+    # suffix-only forwards).  Override with ``False`` when ``infer`` does
+    # anything beyond that contract.
+    plan_compatible = True
 
     def fresh(self) -> "CampaignTask":
         """Return an unstarted copy for a shard worker (configuration only)."""
@@ -155,9 +163,13 @@ class CampaignTask:
         """Open record streams; return ``{tag: path}`` of the stream files."""
         return {}
 
+    def finish(self, output):
+        """Convert a raw model output into the task's working form (idempotent)."""
+        return output
+
     def infer(self, model: Module, images: np.ndarray, batch: list[ImageRecord]):
         """Run one forward pass (identical for the golden and faulty lanes)."""
-        return model(images)
+        return self.finish(model(images))
 
     def consume(self, ctx: StepContext) -> None:
         """Fold one step's outputs into the aggregate state and streams."""
@@ -234,8 +246,8 @@ class ClassificationTask(CampaignTask):
         self._streams["applied_faults"] = writer.stream_applied_faults()
         return {tag: str(stream.path) for tag, stream in self._streams.items()}
 
-    def infer(self, model: Module, images: np.ndarray, batch: list[ImageRecord]) -> np.ndarray:
-        return np.asarray(model(images))
+    def finish(self, output) -> np.ndarray:
+        return np.asarray(output)
 
     def consume(self, ctx: StepContext) -> None:
         state = self.state
@@ -549,6 +561,15 @@ class CampaignCore:
         wrapper: optional pre-built ``ptfiwrap`` (e.g. with a reloaded fault
             file); built from the scenario otherwise.
         resil_wrapper: optional pre-built wrapper for the hardened model.
+        prefix_reuse: run the faulty (and resil-faulty) lane as a suffix-only
+            forward from the first faulted layer, reusing the golden pass's
+            checkpointed prefix activations (bit-identical to a full faulty
+            forward).  Disabled automatically for models whose forward does
+            not linearise into a :class:`~repro.nn.forward_plan.ForwardPlan`.
+        golden_cache: optional epoch-invariant :class:`GoldenCache`; golden
+            (and resil-golden) passes are computed once per batch of images
+            instead of once per epoch, and their boundary checkpoints are
+            reused by later epochs' suffix-only faulty lanes.
     """
 
     def __init__(
@@ -565,6 +586,8 @@ class CampaignCore:
         resil_model: Module | None = None,
         wrapper: ptfiwrap | None = None,
         resil_wrapper: ptfiwrap | None = None,
+        prefix_reuse: bool = True,
+        golden_cache: GoldenCache | None = None,
     ):
         if dataset is None or len(dataset) == 0:
             raise ValueError("a non-empty dataset is required to run a campaign")
@@ -592,6 +615,24 @@ class CampaignCore:
             )
         self.resil_wrapper = resil_wrapper
         self._monitors = MonitorCache(self.custom_monitors)
+        self.prefix_reuse = prefix_reuse
+        if (
+            golden_cache is not None
+            and self.scenario.num_runs <= 1
+            and golden_cache.spill_dir is None
+        ):
+            # A single-epoch campaign visits every batch exactly once, so an
+            # in-memory epoch-invariant cache can never hit — recording all
+            # boundary checkpoints for it would be pure overhead.  A spill
+            # directory keeps the cache on (entries are reused *across*
+            # campaign runs and shards).
+            golden_cache = None
+        self.golden_cache = golden_cache
+        # Forward plans and recording arenas, lazily built per model object
+        # (``None`` marks a model whose forward could not be linearised).
+        self._plans: dict[int, ForwardPlan | None] = {}
+        self._arenas: dict[int, ActivationArena] = {}
+        self._fingerprints: dict[int, str] = {}
 
     # ------------------------------------------------------------------ #
     # campaign geometry
@@ -634,6 +675,9 @@ class CampaignCore:
         """
         total = self.total_steps
         stop = total if stop is None else min(stop, total)
+        # Weights may have been mutated between runs of the same core; the
+        # cache fingerprint must reflect the state of this run.
+        self._fingerprints = {}
         if not 0 <= start <= total:
             raise ValueError(f"step range start {start} outside campaign of {total} steps")
         policy = InjectionPolicy.from_string(self.scenario.inj_policy)
@@ -690,6 +734,196 @@ class CampaignCore:
                 "fault file provides fewer fault groups than the scenario needs"
             ) from None
 
+    # ------------------------------------------------------------------ #
+    # prefix-reuse plumbing
+    # ------------------------------------------------------------------ #
+    def _plan_for(self, model: Module, images: np.ndarray) -> ForwardPlan | None:
+        """Return the (lazily traced) forward plan of a model, or ``None``.
+
+        Must be called outside any active fault group: the trace pass runs
+        the model once, and active faults would corrupt it (and pollute the
+        group's applied-fault log).
+        """
+        if not self.prefix_reuse or not getattr(self.task, "plan_compatible", False):
+            return None
+        key = id(model)
+        if key not in self._plans:
+            try:
+                plan = ForwardPlan.trace(model, images)
+            except Exception:
+                plan = None
+            self._plans[key] = plan if plan is not None and plan.valid else None
+        return self._plans[key]
+
+    def _arena_for(self, model: Module) -> ActivationArena:
+        key = id(model)
+        if key not in self._arenas:
+            self._arenas[key] = ActivationArena()
+        return self._arenas[key]
+
+    def _model_fingerprint(self, model: Module) -> str:
+        """Digest of the model's weights.
+
+        Part of every golden-cache key: spillover directories outlive one
+        campaign (shards of later runs reuse them), so entries recorded for
+        different weights must never match.  Computed while the model is
+        unpatched (outside any fault group).  Input-content mismatches are
+        covered separately by the per-batch image digest in the key.
+        """
+        key = id(model)
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            digest = hashlib.sha1()
+            for name, param in model.named_parameters():
+                digest.update(name.encode("utf-8"))
+                digest.update(param.data.tobytes())
+            fingerprint = digest.hexdigest()[:16]
+            self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    @staticmethod
+    def _resume_index(
+        golden_plan: ForwardPlan | None,
+        faulty_plan: ForwardPlan | None,
+        wrapper: ptfiwrap,
+        group,
+    ) -> int | None:
+        """Plan segment to resume the faulty lane at (``None`` = full forward).
+
+        The golden and the faulty model (a bit-identical clone for neuron
+        campaigns) must segment identically, since the golden plan's
+        checkpoints are fed into the faulty plan's suffix.  The resume point
+        is the earliest *executed* segment over all of the group's faulted
+        layers — layer indices follow registration order, which may differ
+        from execution order, so mapping only ``first_faulted_layer`` could
+        skip a patched layer that runs earlier in the chain.
+        """
+        if golden_plan is None or faulty_plan is None:
+            return None
+        if faulty_plan is not golden_plan and faulty_plan.segment_names != golden_plan.segment_names:
+            return None
+        layers = getattr(group, "faulted_layers", None)
+        if layers is None:
+            first = getattr(group, "first_faulted_layer", None)
+            layers = [] if first is None else [first]
+        if not layers:
+            return None
+        segments = []
+        for layer in layers:
+            name = wrapper.fault_injection.layers[layer].name
+            index = faulty_plan.segment_for(name)
+            if index is None:
+                return None
+            segments.append(index)
+        index = min(segments)
+        if index <= 0:
+            return None
+        return index
+
+    def _golden_pass(
+        self,
+        model: Module,
+        plan: ForwardPlan | None,
+        images: np.ndarray,
+        batch: list[ImageRecord],
+        cache_key: tuple,
+        resume_at: int | None,
+        with_monitor: bool,
+    ):
+        """Run (or fetch) one lane's golden pass.
+
+        Returns ``(raw_output, boundary, marks, events)`` where ``boundary``
+        is the checkpointed activation for ``resume_at`` (``None`` when not
+        available), and ``marks``/``events`` carry the golden monitor state
+        used to inherit prefix NaN/Inf events (``None`` without monitoring).
+        """
+        cache = self.golden_cache
+        if cache is not None:
+            entry = cache.get(cache_key, batch_shape=images.shape)
+            if entry is not None:
+                boundary = None
+                if resume_at is not None:
+                    boundary = entry.boundaries.get(resume_at)
+                    if boundary is None and plan is not None:
+                        # Epoch-invariant output is cached but this epoch's
+                        # fault group needs a boundary no one recorded yet:
+                        # recompute the prefix only (still no full pass).
+                        boundary = plan.run_prefix(images, resume_at)
+                        stored = (
+                            np.array(boundary, copy=True)
+                            if isinstance(boundary, np.ndarray)
+                            else boundary
+                        )
+                        cache.add_boundary(cache_key, resume_at, stored)
+                return entry.output, boundary, entry.marks, entry.events
+        if plan is not None:
+            monitor = None
+            if with_monitor:
+                monitor = self._monitors.monitor_for(model)
+                monitor.reset()
+                monitor.enabled = True
+            try:
+                # With a cache every boundary is checkpointed (owned copies),
+                # so any later epoch's fault group can resume anywhere; the
+                # transient path records only this step's boundary into the
+                # reusable arena.
+                wanted = "all" if cache is not None else ([resume_at] if resume_at is not None else [])
+                arena = None if cache is not None else self._arena_for(model)
+                output, checkpoints, marks = plan.run_recording(
+                    images, wanted, arena=arena, monitor=monitor
+                )
+            finally:
+                if monitor is not None:
+                    monitor.enabled = False
+            events = monitor.collect() if monitor is not None else None
+            if cache is not None:
+                cache.put(
+                    cache_key, output, checkpoints, marks, events, batch_shape=images.shape
+                )
+            boundary = checkpoints.get(resume_at) if resume_at is not None else None
+            return output, boundary, marks, events
+        output = self.task.infer(model, images, batch)
+        if cache is not None:
+            cache.put(cache_key, output, batch_shape=images.shape)
+        return output, None, None, None
+
+    def _cache_lane_key(
+        self, lane: str, model: Module, cache_key: tuple, images: np.ndarray
+    ) -> tuple:
+        """Full golden-cache key: lane, weight fingerprint, ids, image digest.
+
+        The per-batch content digest guards spillover reuse against a
+        changed dataset whose image ids happen to collide with an earlier
+        campaign's.
+        """
+        if self.golden_cache is None:
+            return (lane,) + cache_key
+        batch_digest = hashlib.sha1(np.ascontiguousarray(images).tobytes()).hexdigest()[:16]
+        return (lane, self._model_fingerprint(model)) + cache_key + (batch_digest,)
+
+    @staticmethod
+    def _inherit_prefix_events(
+        events: MonitorResult | None,
+        marks: list | None,
+        resume_at: int | None,
+        suffix: MonitorResult,
+    ) -> MonitorResult:
+        """Prepend the golden prefix's monitor events to a suffix-only result.
+
+        A suffix-only faulty pass never executes the prefix layers, but their
+        activations (hence their NaN/Inf/custom events) are bit-identical to
+        the golden pass's — inheriting them reproduces the full-forward
+        monitor result exactly.
+        """
+        if resume_at is None or events is None or marks is None:
+            return suffix
+        n_nan, n_inf, n_custom = marks[resume_at]
+        return MonitorResult(
+            nan_layers=list(events.nan_layers[:n_nan]) + suffix.nan_layers,
+            inf_layers=list(events.inf_layers[:n_inf]) + suffix.inf_layers,
+            custom_events=list(events.custom_events[:n_custom]) + suffix.custom_events,
+        )
+
     def _run_step(
         self,
         batch: list[ImageRecord],
@@ -702,16 +936,47 @@ class CampaignCore:
     ) -> None:
         task = self.task
         images = AlfiDataLoaderWrapper.stack_images(batch)
-        golden = task.infer(self.model, images, batch)  # before the patch is applied
+        cache_key = tuple(record.image_id for record in batch)
+
+        # Plans are traced before the patch session opens (the faulty model
+        # object exists, and is fault-free, outside the ``with group`` scope).
+        golden_plan = self._plan_for(self.model, images)
+        faulty_model = group.model
+        faulty_plan = (
+            golden_plan if faulty_model is self.model else self._plan_for(faulty_model, images)
+        )
+        resume_at = self._resume_index(golden_plan, faulty_plan, self.wrapper, group)
+
+        # Golden pass runs before the patch is applied.  The monitor scan on
+        # the golden pass is only paid when something consumes its events: a
+        # suffix-only resume (prefix inheritance) or a cache recording.
+        golden_raw, boundary, marks, golden_events = self._golden_pass(
+            self.model,
+            golden_plan,
+            images,
+            batch,
+            self._cache_lane_key("golden", self.model, cache_key, images),
+            resume_at,
+            with_monitor=golden_plan is not None
+            and (self.golden_cache is not None or resume_at is not None),
+        )
+        golden = task.finish(golden_raw)
+
         with group:
             monitor = self._monitors.monitor_for(group.model)
             monitor.reset()
             monitor.enabled = True
             try:
-                corrupted = task.infer(group.model, images, batch)
+                if resume_at is not None and boundary is not None:
+                    corrupted = task.finish(faulty_plan.resume(resume_at, boundary))
+                else:
+                    resume_at = None
+                    corrupted = task.infer(group.model, images, batch)
             finally:
                 monitor.enabled = False
-            monitor_result = monitor.collect()
+            monitor_result = self._inherit_prefix_events(
+                golden_events, marks, resume_at, monitor.collect()
+            )
         applied = [fault.as_dict() for fault in group.applied_faults]
         resil_golden = resil_out = None
         if resil_group is not None:
@@ -719,9 +984,31 @@ class CampaignCore:
             # baseline, so that range clamping of rare fault-free activations
             # is not misattributed to the injected fault.  Its golden pass
             # must run before the patch session opens.
-            resil_golden = task.infer(self.resil_model, images, batch)
+            resil_plan = self._plan_for(self.resil_model, images)
+            resil_faulty = resil_group.model
+            resil_faulty_plan = (
+                resil_plan
+                if resil_faulty is self.resil_model
+                else self._plan_for(resil_faulty, images)
+            )
+            resil_resume = self._resume_index(
+                resil_plan, resil_faulty_plan, self.resil_wrapper, resil_group
+            )
+            resil_golden_raw, resil_boundary, _, _ = self._golden_pass(
+                self.resil_model,
+                resil_plan,
+                images,
+                batch,
+                self._cache_lane_key("resil", self.resil_model, cache_key, images),
+                resil_resume,
+                with_monitor=False,
+            )
+            resil_golden = task.finish(resil_golden_raw)
             with resil_group:
-                resil_out = task.infer(resil_group.model, images, batch)
+                if resil_resume is not None and resil_boundary is not None:
+                    resil_out = task.finish(resil_faulty_plan.resume(resil_resume, resil_boundary))
+                else:
+                    resil_out = task.infer(resil_group.model, images, batch)
         task.consume(
             StepContext(
                 batch=batch,
@@ -760,6 +1047,9 @@ class _ShardJob:
     fault_matrix: object
     shard_dir: str | None
     campaign_name: str
+    prefix_reuse: bool = True
+    cache_budget: int | None = None
+    cache_spill_dir: str | None = None
 
 
 def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
@@ -775,6 +1065,11 @@ def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
         input_shape=job.input_shape,
         fault_matrix=job.fault_matrix,
     )
+    golden_cache = (
+        GoldenCache(job.cache_budget, spill_dir=job.cache_spill_dir)
+        if job.cache_budget is not None
+        else None
+    )
     core = CampaignCore(
         job.model,
         job.dataset,
@@ -786,6 +1081,8 @@ def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
         dl_shuffle=job.dl_shuffle,
         resil_model=job.resil_model,
         wrapper=wrapper,
+        prefix_reuse=job.prefix_reuse,
+        golden_cache=golden_cache,
     )
     stream_paths = core.run(start=job.start, stop=job.stop)
     return job.index, job.task.state, stream_paths
@@ -841,6 +1138,16 @@ class ShardedCampaignExecutor:
             return core.task.state, stream_paths
 
         bounds = self.shard_bounds()
+        cache = core.golden_cache
+        cache_budget = cache.byte_budget if cache is not None else None
+        cache_spill_dir = None
+        if cache is not None:
+            # Shards are separate processes: a shared spillover directory is
+            # what lets them reuse each other's golden passes.
+            if cache.spill_dir is not None:
+                cache_spill_dir = str(cache.spill_dir)
+            elif core.writer is not None:
+                cache_spill_dir = str(core.writer.output_dir / "golden_cache")
         jobs = []
         for index, (start, stop) in enumerate(bounds):
             shard_dir = None
@@ -862,6 +1169,9 @@ class ShardedCampaignExecutor:
                     fault_matrix=core.wrapper.get_fault_matrix(),
                     shard_dir=shard_dir,
                     campaign_name=core.writer.campaign_name if core.writer is not None else "campaign",
+                    prefix_reuse=core.prefix_reuse,
+                    cache_budget=cache_budget,
+                    cache_spill_dir=cache_spill_dir,
                 )
             )
         if self.workers == 1:
@@ -927,6 +1237,10 @@ class CampaignRunner:
         workers: worker processes for sharded execution (1 = serial).
         num_shards: campaign shards (defaults to ``workers``); the merged
             output of any shard count is bit-identical to a serial run.
+        prefix_reuse: suffix-only faulty forwards from the first faulted
+            layer (bit-identical to full forwards; on by default).
+        golden_cache: optional epoch-invariant :class:`GoldenCache` shared
+            by all epochs (and, via file spillover, all shards).
     """
 
     def __init__(
@@ -941,6 +1255,8 @@ class CampaignRunner:
         dl_shuffle: bool = False,
         workers: int = 1,
         num_shards: int | None = None,
+        prefix_reuse: bool = True,
+        golden_cache: GoldenCache | None = None,
     ):
         self.task = ClassificationTask()
         self.core = CampaignCore(
@@ -953,6 +1269,8 @@ class CampaignRunner:
             input_shape=input_shape,
             custom_monitors=custom_monitors,
             dl_shuffle=dl_shuffle,
+            prefix_reuse=prefix_reuse,
+            golden_cache=golden_cache,
         )
         self.workers = workers
         self.num_shards = num_shards

@@ -1,0 +1,212 @@
+"""Epoch-invariant golden cache.
+
+Golden (fault-free) outputs are a pure function of the model weights and the
+input batch — they do not depend on the epoch or the fault group.  Per-epoch
+campaigns nevertheless used to recompute them once per epoch per image.  The
+:class:`GoldenCache` stores, per batch of dataset images:
+
+* the raw golden model output (and, in a separate lane, the hardened
+  "resil" model's golden output);
+* the golden monitor events together with per-boundary event-count marks, so
+  suffix-only faulty passes can inherit the prefix's NaN/Inf events without
+  re-scanning;
+* checkpointed boundary activations of the golden forward plan, so a later
+  epoch's faulty lane can resume mid-network without re-running the prefix.
+
+Entries are keyed by ``(lane, dataset image ids)`` — epoch never enters the
+key.  Memory is bounded by a configurable byte budget with LRU eviction; an
+optional *spillover directory* persists entries as pickle files so the
+shards of a ``ShardedCampaignExecutor`` (separate processes walking the same
+dataset in different epoch ranges) can reuse each other's golden passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_BYTE_BUDGET = 256 * 2**20
+
+
+def _value_nbytes(value) -> int:
+    """Rough byte estimate of a cached value (exact for ndarray trees)."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (list, tuple)):
+        return sum(_value_nbytes(item) for item in value)
+    if isinstance(value, dict):
+        return sum(_value_nbytes(item) for item in value.values())
+    return 256  # conservative default for opaque objects (e.g. detections)
+
+
+class GoldenCacheEntry:
+    """One cached golden pass (output, monitor events, boundary checkpoints)."""
+
+    __slots__ = ("output", "boundaries", "marks", "events", "batch_shape")
+
+    def __init__(self, output, boundaries, marks, events, batch_shape):
+        self.output = output
+        self.boundaries = dict(boundaries or {})
+        self.marks = marks
+        self.events = events
+        self.batch_shape = tuple(batch_shape) if batch_shape is not None else None
+
+    @property
+    def nbytes(self) -> int:
+        """Byte footprint used for budget accounting."""
+        return _value_nbytes(self.output) + _value_nbytes(self.boundaries)
+
+    def as_state(self) -> dict:
+        return {
+            "output": self.output,
+            "boundaries": self.boundaries,
+            "marks": self.marks,
+            "events": self.events,
+            "batch_shape": self.batch_shape,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GoldenCacheEntry":
+        return cls(
+            state["output"], state["boundaries"], state["marks"],
+            state["events"], state["batch_shape"],
+        )
+
+
+class GoldenCache:
+    """Bounded LRU cache of golden passes with optional shared-file spillover.
+
+    Args:
+        byte_budget: in-memory budget; least-recently-used entries are
+            evicted once it is exceeded (the most recent entry is always
+            kept, even if it alone exceeds the budget).
+        spill_dir: optional directory for persisted entries.  Writes are
+            atomic (temp file + rename), so concurrent shard processes can
+            share one directory without coordination; an in-memory miss
+            falls back to loading the spilled entry.
+    """
+
+    def __init__(self, byte_budget: int = DEFAULT_BYTE_BUDGET, spill_dir: str | Path | None = None):
+        if byte_budget <= 0:
+            raise ValueError(f"byte_budget must be positive, got {byte_budget}")
+        self.byte_budget = int(byte_budget)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: "OrderedDict[tuple, GoldenCacheEntry]" = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, key: tuple, batch_shape=None) -> GoldenCacheEntry | None:
+        """Return the entry for ``key`` (memory first, then spillover)."""
+        entry = self._entries.get(key)
+        if entry is None and self.spill_dir is not None:
+            entry = self._load_spilled(key)
+            if entry is not None:
+                self._insert(key, entry, spill=False)
+        if entry is not None and batch_shape is not None and entry.batch_shape is not None:
+            # Golden rows are only guaranteed bit-identical for identical
+            # batch geometry (BLAS blocking may differ across shapes).
+            if entry.batch_shape != tuple(batch_shape):
+                entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, output, boundaries=None, marks=None, events=None, batch_shape=None) -> GoldenCacheEntry:
+        """Insert (or replace) the golden pass for ``key``."""
+        entry = GoldenCacheEntry(output, boundaries, marks, events, batch_shape)
+        self._insert(key, entry, spill=True)
+        return entry
+
+    def add_boundary(self, key: tuple, index: int, value) -> None:
+        """Attach one more checkpointed boundary to an existing entry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        self._nbytes -= entry.nbytes
+        entry.boundaries[index] = value
+        self._nbytes += entry.nbytes
+        self._evict()
+        if self.spill_dir is not None and key in self._entries:
+            self._spill(key, entry)
+
+    def _insert(self, key: tuple, entry: GoldenCacheEntry, spill: bool) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._nbytes -= old.nbytes
+        self._entries[key] = entry
+        self._nbytes += entry.nbytes
+        self._evict()
+        if spill and self.spill_dir is not None:
+            self._spill(key, entry)
+
+    def _evict(self) -> None:
+        while self._nbytes > self.byte_budget and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._nbytes -= evicted.nbytes
+
+    # ------------------------------------------------------------------ #
+    # spillover
+    # ------------------------------------------------------------------ #
+    def _spill_path(self, key: tuple) -> Path:
+        digest = hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+        return self.spill_dir / f"golden_{digest}.pkl"
+
+    def _spill(self, key: tuple, entry: GoldenCacheEntry) -> None:
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.spill_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry.as_state(), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _load_spilled(self, key: tuple) -> GoldenCacheEntry | None:
+        path = self._spill_path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return GoldenCacheEntry.from_state(pickle.load(handle))
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Current in-memory footprint."""
+        return self._nbytes
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for logging and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "nbytes": self._nbytes,
+            "byte_budget": self.byte_budget,
+            "spill_dir": str(self.spill_dir) if self.spill_dir is not None else None,
+        }

@@ -118,6 +118,15 @@ class InferenceMonitor:
         self._current = MonitorResult()
         return result
 
+    def event_counts(self) -> tuple[int, int, int]:
+        """Current ``(nan, inf, custom)`` event counts without resetting.
+
+        Forward plans snapshot these at every segment boundary so a
+        suffix-only faulty pass can inherit exactly the prefix's events.
+        """
+        current = self._current
+        return (len(current.nan_layers), len(current.inf_layers), len(current.custom_events))
+
     def _make_hook(self, layer_name: str):
         def hook(module, inputs, output):
             if not self.enabled:

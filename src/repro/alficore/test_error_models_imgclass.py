@@ -80,6 +80,11 @@ class TestErrorModels_ImgClass:
         device: accepted for API compatibility; unused by the numpy substrate.
         workers: worker processes for sharded campaign execution (1 = serial).
         num_shards: campaign shards (defaults to ``workers``).
+        prefix_reuse: suffix-only faulty forwards from the first faulted
+            layer (bit-identical to full forwards; on by default).
+        golden_cache: optional epoch-invariant
+            :class:`~repro.alficore.goldencache.GoldenCache` so per-epoch
+            campaigns compute golden outputs once per image.
     """
 
     def __init__(
@@ -96,6 +101,8 @@ class TestErrorModels_ImgClass:
         device: str = "cpu",
         workers: int = 1,
         num_shards: int | None = None,
+        prefix_reuse: bool = True,
+        golden_cache=None,
     ):
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
@@ -108,6 +115,8 @@ class TestErrorModels_ImgClass:
         self.device = device
         self.workers = workers
         self.num_shards = num_shards
+        self.prefix_reuse = prefix_reuse
+        self.golden_cache = golden_cache
         if scenario is not None:
             self._base_scenario = scenario
         elif config_location is not None:
@@ -174,6 +183,8 @@ class TestErrorModels_ImgClass:
             dl_shuffle=self.dl_shuffle,
             resil_model=self.resil_model,
             wrapper=self.wrapper,
+            prefix_reuse=self.prefix_reuse,
+            golden_cache=self.golden_cache,
         )
         self.resil_wrapper = core.resil_wrapper
         executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)

@@ -74,6 +74,11 @@ class TestErrorModels_ObjDet:
         device: accepted for API compatibility; unused by the numpy substrate.
         workers: worker processes for sharded campaign execution (1 = serial).
         num_shards: campaign shards (defaults to ``workers``).
+        prefix_reuse: suffix-only faulty forwards where the detector's
+            forward linearises into a plan (falls back to full forwards
+            otherwise; on by default).
+        golden_cache: optional epoch-invariant
+            :class:`~repro.alficore.goldencache.GoldenCache`.
     """
 
     def __init__(
@@ -91,6 +96,8 @@ class TestErrorModels_ObjDet:
         device: str = "cpu",
         workers: int = 1,
         num_shards: int | None = None,
+        prefix_reuse: bool = True,
+        golden_cache=None,
     ):
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
@@ -103,6 +110,8 @@ class TestErrorModels_ObjDet:
         self.device = device
         self.workers = workers
         self.num_shards = num_shards
+        self.prefix_reuse = prefix_reuse
+        self.golden_cache = golden_cache
         if num_classes is not None:
             self.num_classes = num_classes
         elif hasattr(dataset, "num_classes"):
@@ -168,6 +177,8 @@ class TestErrorModels_ObjDet:
             dl_shuffle=self.dl_shuffle,
             resil_model=self.resil_model,
             wrapper=self.wrapper,
+            prefix_reuse=self.prefix_reuse,
+            golden_cache=self.golden_cache,
         )
         self.resil_wrapper = core.resil_wrapper
         executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.alficore import default_scenario, load_scenario
+from repro.alficore import GoldenCache, default_scenario, load_scenario
 from repro.alficore.analysis import analyze_classification_campaign, analyze_detection_campaign
 from repro.alficore.protection import apply_protection, collect_activation_bounds
 from repro.alficore.test_error_models_imgclass import TestErrorModels_ImgClass
@@ -47,6 +47,15 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for sharded campaign execution (1 = serial)",
+    )
+    parser.add_argument(
+        "--no-prefix-reuse", action="store_true",
+        help="escape hatch: run the faulty lane as a full forward instead of a "
+        "suffix-only forward from the first faulted layer",
+    )
+    parser.add_argument(
+        "--golden-cache", type=int, default=256, metavar="MB",
+        help="in-memory budget (MB) of the epoch-invariant golden cache; 0 disables it",
     )
     parser.add_argument(
         "--target", choices=("neurons", "weights"), default="weights", help="fault injection target"
@@ -87,11 +96,16 @@ def _scenario_from_args(args: argparse.Namespace):
 
 def _run_campaign(runner_cls, args: argparse.Namespace, **runner_kwargs):
     """Shared campaign plumbing of the ``run-imgclass``/``run-objdet`` commands."""
+    golden_cache = (
+        GoldenCache(byte_budget=args.golden_cache * 2**20) if args.golden_cache > 0 else None
+    )
     runner = runner_cls(
         model_name=args.model,
         scenario=_scenario_from_args(args),
         output_dir=args.output_dir,
         workers=args.workers,
+        prefix_reuse=not args.no_prefix_reuse,
+        golden_cache=golden_cache,
         **runner_kwargs,
     )
     run = (

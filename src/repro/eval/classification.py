@@ -31,9 +31,43 @@ def top_k_predictions(logits: np.ndarray, k: int = 5) -> tuple[np.ndarray, np.nd
         denom = np.nansum(exp, axis=1, keepdims=True)
         probabilities = np.where(denom > 0, exp / denom, 0.0)
     sort_keys = np.where(np.isnan(probabilities), -np.inf, probabilities)
-    order = np.argsort(-sort_keys, axis=1, kind="stable")[:, :k]
+    order = _stable_top_k_order(sort_keys, k)
     rows = np.arange(len(logits))[:, None]
     return order.astype(np.int64), probabilities[rows, order]
+
+
+def _stable_top_k_order(sort_keys: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest keys per row, ties broken by smallest index.
+
+    This runs on every image of every campaign lane, so the full
+    ``argsort`` of all classes is replaced by an O(C) ``argpartition``
+    followed by a local sort of the k candidates.  The partition is only
+    index-stable when the boundary value is unambiguous; rows where ties
+    straddle the k-th position fall back to the stable full argsort, so the
+    result is always identical to ``argsort(-keys, kind="stable")[:, :k]``.
+    """
+    num_rows, num_classes = sort_keys.shape
+    if k <= 0:
+        return np.empty((num_rows, 0), dtype=np.int64)
+    if k >= num_classes:
+        return np.argsort(-sort_keys, axis=1, kind="stable")[:, :k]
+    rows = np.arange(num_rows)[:, None]
+    candidates = np.argpartition(-sort_keys, k - 1, axis=1)[:, :k]
+    candidates = np.sort(candidates, axis=1)  # ascending index = stable tie order
+    candidate_keys = sort_keys[rows, candidates]
+    local = np.argsort(-candidate_keys, axis=1, kind="stable")
+    order = candidates[rows, local]
+    # A row is ambiguous when values equal to its k-th largest ("boundary")
+    # key also exist outside the selected set — the partition then picked an
+    # arbitrary subset of the tied indices.
+    boundary = candidate_keys.min(axis=1, keepdims=True)
+    n_ge_selected = (candidate_keys >= boundary).sum(axis=1)
+    n_ge_total = (sort_keys >= boundary).sum(axis=1)
+    ambiguous = n_ge_total > n_ge_selected
+    if np.any(ambiguous):
+        exact = np.argsort(-sort_keys[ambiguous], axis=1, kind="stable")[:, :k]
+        order[ambiguous] = exact
+    return order
 
 
 def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:

@@ -34,12 +34,15 @@ from repro.nn.layers import (
     Tanh,
     Upsample,
 )
+from repro.nn.forward_plan import ActivationArena, ForwardPlan
 from repro.nn import functional
 from repro.nn import init
 
 __all__ = [
+    "ActivationArena",
     "AdaptiveAvgPool2d",
     "AvgPool2d",
+    "ForwardPlan",
     "BatchNorm2d",
     "Conv2d",
     "Conv3d",

@@ -282,6 +282,14 @@ def avg_pool2d(
 
 
 def _pool2d(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
+    """Vectorized pooling over all windows via ``sliding_window_view``.
+
+    ``sliding_window_view`` materialises a bounds-checked view over every
+    ``(kh, kw)`` window; striding is a cheap slice of that view, and the
+    max/mean reduction runs once over the whole window volume instead of a
+    python loop per output position.  :func:`_pool2d_reference` keeps the
+    naive window loop as the correctness oracle (asserted equal in tests).
+    """
     x = np.asarray(x, dtype=np.float32)
     if x.ndim != 4:
         raise ValueError(f"pooling expects 4D input, got shape {x.shape}")
@@ -294,16 +302,40 @@ def _pool2d(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
     if ph or pw:
         fill = -np.inf if mode == "max" else 0.0
         x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=fill)
-    stride_n, stride_c, stride_h, stride_w = x.strides
-    patches = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(stride_n, stride_c, stride_h * sh, stride_w * sw, stride_h, stride_w),
-        writeable=False,
-    )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw]
+    assert windows.shape[2] == out_h and windows.shape[3] == out_w
     if mode == "max":
-        return patches.max(axis=(4, 5)).astype(np.float32)
-    return patches.mean(axis=(4, 5)).astype(np.float32)
+        return windows.max(axis=(4, 5)).astype(np.float32)
+    return windows.mean(axis=(4, 5)).astype(np.float32)
+
+
+def _pool2d_reference(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
+    """Naive per-window pooling loop (correctness oracle for :func:`_pool2d`)."""
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 4:
+        raise ValueError(f"pooling expects 4D input, got shape {x.shape}")
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    if ph or pw:
+        fill = -np.inf if mode == "max" else 0.0
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=fill)
+    output = np.empty((n, c, out_h, out_w), dtype=np.float32)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+            if mode == "max":
+                output[:, :, i, j] = window.max(axis=(2, 3))
+            else:
+                # Innermost-axis-first summation mirrors the reduction order
+                # of ``mean(axis=(4, 5))`` on the window view, keeping the
+                # reference bit-identical to the vectorized path.
+                output[:, :, i, j] = window.sum(axis=3).sum(axis=2) / (kh * kw)
+    return output
 
 
 def adaptive_avg_pool2d(x: np.ndarray, output_size: int | tuple[int, int]) -> np.ndarray:

@@ -664,6 +664,21 @@ class WeightPatchSession:
         """True while the faults are patched into the model."""
         return bool(self._saved)
 
+    @property
+    def first_faulted_layer(self) -> int | None:
+        """Lowest injectable-layer index this group corrupts (None if empty).
+
+        Layer indices follow registration (profiling) order, which is not
+        necessarily execution order — suffix-only campaign forwards therefore
+        resume from the earliest *executed* segment over :attr:`faulted_layers`.
+        """
+        return min((fault.layer for fault in self._faults), default=None)
+
+    @property
+    def faulted_layers(self) -> list[int]:
+        """Sorted injectable-layer indices this group corrupts."""
+        return sorted({fault.layer for fault in self._faults})
+
     def __enter__(self) -> "WeightPatchSession":
         if self._saved:
             raise RuntimeError("weight patch session is already active")
@@ -827,6 +842,21 @@ class NeuronFaultGroup:
     def model(self) -> Module:
         """The session's reusable hooked model."""
         return self._session.model
+
+    @property
+    def first_faulted_layer(self) -> int | None:
+        """Lowest injectable-layer index this group corrupts (None if empty).
+
+        Layer indices follow registration (profiling) order; campaign
+        forwards resume from the earliest executed segment over
+        :attr:`faulted_layers` so every injection hook still fires.
+        """
+        return min((fault.layer for fault in self._faults), default=None)
+
+    @property
+    def faulted_layers(self) -> list[int]:
+        """Sorted injectable-layer indices this group corrupts."""
+        return sorted({fault.layer for fault in self._faults})
 
     def __enter__(self) -> "NeuronFaultGroup":
         self._session.set_faults(self._faults)

@@ -15,6 +15,7 @@ import pytest
 from repro.alficore import (
     CampaignResultWriter,
     CampaignRunner,
+    GoldenCache,
     TestErrorModels_ImgClass,
     TestErrorModels_ObjDet,
     default_scenario,
@@ -103,6 +104,51 @@ class TestClassificationShardEquivalence:
         serial_kpis.pop("output_files")
         sharded_kpis.pop("output_files")
         assert serial_kpis == sharded_kpis
+
+    @pytest.mark.parametrize("workers,num_shards", [(1, 3), (2, 3)])
+    def test_sharded_prefix_reuse_matches_serial_full_forward(
+        self, fitted_model_and_dataset, tmp_path, workers, num_shards
+    ):
+        # Prefix reuse + golden cache in every shard (sharing one spillover
+        # directory) must still merge byte-identically to a serial run with
+        # both optimisations off.
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(
+            injection_target="weights", rnd_bit_range=(23, 30), random_seed=20,
+            num_runs=2, model_name="reuse_shard",
+        )
+
+        def run(sub: str, workers: int, num_shards: int, reuse: bool):
+            writer = CampaignResultWriter(tmp_path / sub, campaign_name="reuse_shard")
+            runner = CampaignRunner(
+                model, dataset, scenario=scenario, writer=writer,
+                workers=workers, num_shards=num_shards,
+                prefix_reuse=reuse, golden_cache=GoldenCache() if reuse else None,
+            )
+            return runner.run()
+
+        serial = run("serial_full", 1, 1, reuse=False)
+        sharded = run(f"sharded_reuse_{workers}x{num_shards}", workers, num_shards, reuse=True)
+
+        for tag in ("golden_csv", "corrupted_csv", "applied_faults", "faults"):
+            assert _file_bytes(serial.output_files[tag]) == _file_bytes(sharded.output_files[tag])
+        serial_kpis, sharded_kpis = serial.as_dict(), sharded.as_dict()
+        serial_kpis.pop("output_files")
+        sharded_kpis.pop("output_files")
+        assert serial_kpis == sharded_kpis
+        # The shards shared one golden-cache spillover directory.
+        spill = tmp_path / f"sharded_reuse_{workers}x{num_shards}" / "golden_cache"
+        assert spill.is_dir() and any(spill.iterdir())
+
+    def test_sharded_neuron_prefix_reuse_matches_serial(self, fitted_model_and_dataset):
+        model, dataset = fitted_model_and_dataset
+        scenario = default_scenario(injection_target="neurons", random_seed=21, num_runs=2)
+        serial = CampaignRunner(model, dataset, scenario=scenario, prefix_reuse=False).run()
+        sharded = CampaignRunner(
+            model, dataset, scenario=scenario, workers=2, num_shards=4,
+            prefix_reuse=True, golden_cache=GoldenCache(),
+        ).run()
+        assert serial.as_dict() == sharded.as_dict()
 
     def test_sharded_neuron_campaign_matches_serial(self, fitted_model_and_dataset):
         model, dataset = fitted_model_and_dataset

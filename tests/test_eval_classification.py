@@ -137,3 +137,60 @@ class TestCampaignEvaluation:
         golden = np.ones((3, 4))
         result = evaluate_classification_campaign(golden, golden, [0, 1, 2])
         json.dumps(result.as_dict())
+
+
+class TestStableTopKOrder:
+    """argpartition fast path must equal the stable full-argsort reference."""
+
+    @staticmethod
+    def _reference(logits, k):
+        logits = np.asarray(logits, dtype=np.float64)
+        shifted = logits - np.nanmax(logits, axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", over="ignore"):
+            exp = np.exp(shifted)
+            denom = np.nansum(exp, axis=1, keepdims=True)
+            probabilities = np.where(denom > 0, exp / denom, 0.0)
+        keys = np.where(np.isnan(probabilities), -np.inf, probabilities)
+        return np.argsort(-keys, axis=1, kind="stable")[:, : min(k, logits.shape[1])]
+
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_random_logits_match_stable_argsort(self, k):
+        logits = np.random.default_rng(3).normal(size=(64, 10))
+        classes, _ = top_k_predictions(logits, k=k)
+        np.testing.assert_array_equal(classes, self._reference(logits, k))
+
+    def test_tied_probabilities_keep_index_order(self):
+        # Ties straddling the k-th position force the stable fallback.
+        logits = np.array(
+            [
+                [1.0, 2.0, 2.0, 2.0, 0.0],
+                [5.0, 5.0, 5.0, 5.0, 5.0],
+                [0.0, 0.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        classes, _ = top_k_predictions(logits, k=2)
+        np.testing.assert_array_equal(classes, self._reference(logits, 2))
+        np.testing.assert_array_equal(classes[1], [0, 1])
+
+    def test_nan_rows_sort_last_in_index_order(self):
+        logits = np.array(
+            [
+                [np.nan, np.nan, np.nan, np.nan],
+                [1.0, np.nan, 2.0, np.nan],
+                [np.inf, 1.0, 2.0, -np.inf],
+            ]
+        )
+        classes, _ = top_k_predictions(logits, k=3)
+        np.testing.assert_array_equal(classes, self._reference(logits, 3))
+        np.testing.assert_array_equal(classes[0], [0, 1, 2])
+
+    def test_large_class_count_matches(self):
+        logits = np.random.default_rng(9).normal(size=(8, 1000))
+        classes, _ = top_k_predictions(logits, k=5)
+        np.testing.assert_array_equal(classes, self._reference(logits, 5))
+
+    def test_k_zero_returns_empty(self):
+        logits = np.random.default_rng(4).normal(size=(3, 5))
+        classes, probabilities = top_k_predictions(logits, k=0)
+        assert classes.shape == (3, 0)
+        assert probabilities.shape == (3, 0)

@@ -203,3 +203,33 @@ class TestNormalisationAndShaping:
         x = np.zeros((2, 3, 4, 5))
         assert F.flatten(x).shape == (2, 60)
         assert F.flatten(x, start_dim=2).shape == (2, 3, 20)
+
+
+class TestPool2dVectorized:
+    """The sliding-window pooling must match the naive window-loop oracle."""
+
+    @pytest.mark.parametrize("mode", ["max", "avg"])
+    @pytest.mark.parametrize(
+        "kernel,stride,padding",
+        [(2, None, 0), (3, 1, 0), (3, 2, 1), ((2, 3), (1, 2), (0, 1)), (4, 3, 2)],
+    )
+    def test_matches_reference_loop(self, mode, kernel, stride, padding):
+        x = np.random.default_rng(42).normal(size=(2, 3, 11, 13)).astype(np.float32)
+        fast = F._pool2d(x, kernel, stride, padding, mode)
+        slow = F._pool2d_reference(x, kernel, stride, padding, mode)
+        np.testing.assert_array_equal(fast, slow)
+
+    @pytest.mark.parametrize("mode", ["max", "avg"])
+    def test_matches_reference_with_nonfinite_values(self, mode):
+        x = np.random.default_rng(7).normal(size=(1, 2, 8, 8)).astype(np.float32)
+        x[0, 0, 2, 3] = np.inf
+        x[0, 1, 5, 5] = -np.inf
+        fast = F._pool2d(x, 2, 2, 0, mode)
+        slow = F._pool2d_reference(x, 2, 2, 0, mode)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_reference_and_fast_reject_non_4d(self):
+        with pytest.raises(ValueError):
+            F._pool2d(np.zeros((2, 3, 4)), 2, None, 0, "max")
+        with pytest.raises(ValueError):
+            F._pool2d_reference(np.zeros((2, 3, 4)), 2, None, 0, "max")
