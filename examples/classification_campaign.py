@@ -1,10 +1,12 @@
 """High-level classification campaign with mitigation (Fig. 2a workflow).
 
-Uses ``TestErrorModels_ImgClass`` to run a weight fault injection campaign on
-a VGG-16-style classifier restricted to float32 exponent bits, evaluates a
-Ranger-hardened variant under the exact same faults, and writes the full set
-of result files (scenario meta yml, binary fault file, golden/corrupted/resil
-CSV, KPI JSON) into ``examples_output/classification/``.
+Declares the whole Fig. 2a experiment — a VGG-16-style classifier, weight
+faults restricted to float32 exponent bits, a Ranger-hardened "resil"
+variant evaluated under the exact same faults — as one
+:class:`~repro.experiments.ExperimentSpec` and runs it through the unified
+``run`` entry point.  The full result file set (scenario meta yml, binary
+fault file, golden/corrupted/resil CSV, KPI JSON) lands in
+``examples_output/classification/``.
 
 Run with:  python examples/classification_campaign.py
 """
@@ -13,17 +15,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
-from repro.alficore import (
-    TestErrorModels_ImgClass,
-    apply_protection,
-    collect_activation_bounds,
-    default_scenario,
-)
-from repro.data import SyntheticClassificationDataset
-from repro.models import vgg16
-from repro.models.pretrained import fit_classifier_head
+from repro.experiments import Experiment
 from repro.tensor import exponent_bit_range
 from repro.visualization import bar_chart
 
@@ -31,49 +23,41 @@ OUTPUT_DIR = Path("examples_output/classification")
 
 
 def main() -> None:
-    dataset = SyntheticClassificationDataset(num_samples=40, num_classes=10, noise=0.25, seed=7)
-    model = fit_classifier_head(vgg16(num_classes=10, seed=2), dataset, num_classes=10)
-
-    # Harden a copy with Ranger activation range supervision, calibrated on
-    # the fault-free activations of the test set.
-    calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
-    bounds = collect_activation_bounds(model, [calibration])
-    hardened = apply_protection(model, bounds, protection="ranger")
-
-    scenario = default_scenario(
-        injection_target="weights",
-        rnd_value_type="bitflip",
-        rnd_bit_range=exponent_bit_range("float32"),  # exponent bits only, as in Fig. 2a
-        random_seed=42,
-        model_name="vgg16",
-        dataset_name="synthetic-imagenet",
+    result = (
+        Experiment.builder()
+        .name("vgg16-exponent-bits")
+        .model("vgg16", num_classes=10, seed=2)
+        .dataset("synthetic-classification", num_samples=40, num_classes=10, noise=0.25, seed=7)
+        .protection("ranger")
+        .scenario(
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            rnd_bit_range=exponent_bit_range("float32"),  # exponent bits only, as in Fig. 2a
+            random_seed=42,
+            model_name="vgg16",
+            dataset_name="synthetic-imagenet",
+        )
+        .output_dir(OUTPUT_DIR)
+        .run()
     )
 
-    runner = TestErrorModels_ImgClass(
-        model=model,
-        resil_model=hardened,
-        model_name="vgg16",
-        dataset=dataset,
-        scenario=scenario,
-        output_dir=OUTPUT_DIR,
-    )
-    output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_image")
-
+    corrupted = result.results["corrupted"]
+    resil = result.results["resil"]
     print(
         bar_chart(
             {
-                "vgg16 SDE (no protection)": output.corrupted.sde_rate,
-                "vgg16 DUE (no protection)": output.corrupted.due_rate,
-                "vgg16 SDE (Ranger)": output.resil.sde_rate,
-                "vgg16 DUE (Ranger)": output.resil.due_rate,
+                "vgg16 SDE (no protection)": corrupted.sde_rate,
+                "vgg16 DUE (no protection)": corrupted.due_rate,
+                "vgg16 SDE (Ranger)": resil.sde_rate,
+                "vgg16 DUE (Ranger)": resil.due_rate,
             },
             title="Weight fault injection on exponent bits (1 fault per image)",
-            max_value=max(output.corrupted.sde_rate + output.corrupted.due_rate, 0.1),
+            max_value=max(corrupted.sde_rate + corrupted.due_rate, 0.1),
         )
     )
-    print(f"\ngolden top-1 accuracy: {output.corrupted.golden_top1_accuracy:.2f}")
+    print(f"\ngolden top-1 accuracy: {corrupted.golden_top1_accuracy:.2f}")
     print("result files:")
-    for kind, path in output.output_files.items():
+    for kind, path in result.output_files.items():
         print(f"  {kind:15s} {path}")
 
 

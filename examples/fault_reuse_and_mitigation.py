@@ -1,10 +1,12 @@
-"""Fault persistence and mitigation comparison.
+"""Fault persistence and mitigation comparison through the Experiment API.
 
 Demonstrates the reuse workflow the paper emphasises: a fault set is
-generated once, stored as a binary file, and then replayed against three
-variants of the same network — the unprotected baseline, a Ranger-hardened
-copy and a Clipper-hardened copy — so the mitigation comparison is based on
-bit-identical fault locations and values.
+generated once (first spec run, which persists the binary fault file), and
+then replayed against three variants of the same network — the unprotected
+baseline, a Ranger-hardened copy and a Clipper-hardened copy — by pointing
+each follow-up spec's ``scenario.fault_file`` at the stored matrix.  The
+mitigation comparison is therefore based on bit-identical fault locations
+and values, and switching the protection is one line in the spec.
 
 Run with:  python examples/fault_reuse_and_mitigation.py
 """
@@ -13,18 +15,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
-from repro.alficore import (
-    FaultMatrix,
-    apply_protection,
-    collect_activation_bounds,
-    default_scenario,
-    ptfiwrap,
-)
-from repro.data import SyntheticClassificationDataset
-from repro.eval import sde_rate
-from repro.models import resnet18
+from repro.experiments import Artifacts, ComponentSpec, DATASETS, Experiment, MODELS, run
 from repro.models.pretrained import fit_classifier_head
 from repro.visualization import comparison_table
 
@@ -32,60 +23,69 @@ OUTPUT_DIR = Path("examples_output/fault_reuse")
 IMAGES = 30
 
 
-def evaluate_variant(name: str, model, fault_matrix, scenario, images, golden) -> dict:
-    """Replay the stored fault set against one model variant."""
-    wrapper = ptfiwrap(model, scenario=scenario)
-    wrapper.set_fault_matrix(fault_matrix)
-    fault_iter = wrapper.get_fimodel_iter()
-    corrupted = []
-    for index in range(len(images)):
-        corrupted_model = next(fault_iter)
-        corrupted.append(corrupted_model(images[index : index + 1])[0])
-    own_golden = model(images) if name != "unprotected" else golden
-    rates = sde_rate(own_golden, np.stack(corrupted))
-    return {"variant": name, "masked": rates["masked"], "SDE": rates["sde"], "DUE": rates["due"]}
+def base_spec():
+    return (
+        Experiment.builder()
+        .name("fault-reuse")
+        .model("resnet18", num_classes=10, seed=4)
+        .dataset("synthetic-classification", num_samples=IMAGES, num_classes=10, noise=0.25, seed=21)
+        .scenario(
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(23, 30),
+            random_seed=5,
+            model_name="resnet18",
+            dataset_size=IMAGES,
+        )
+        .build()
+    )
 
 
 def main() -> None:
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=21)
-    model = fit_classifier_head(resnet18(num_classes=10, seed=4), dataset, num_classes=10)
-    images = np.stack([dataset[i][0] for i in range(IMAGES)])
-    golden = model(images)
+    base = base_spec()
 
-    scenario = default_scenario(
-        dataset_size=IMAGES,
-        injection_target="weights",
-        rnd_value_type="bitflip",
-        rnd_bit_range=(23, 30),
-        random_seed=5,
-        batch_size=1,
-        model_name="resnet18",
-    )
+    # Build the dataset and the fitted baseline once; every replay reuses
+    # them through Artifacts (so the stored faults always match the model).
+    dataset = DATASETS.get(base.dataset.name)(**base.dataset.params)
+    model = fit_classifier_head(MODELS.get(base.model.name)(**base.model.params), dataset, 10)
+    artifacts = Artifacts(model=model, dataset=dataset)
 
-    # Generate the fault set once and persist it.
-    baseline_wrapper = ptfiwrap(model, scenario=scenario)
-    fault_path = baseline_wrapper.save_fault_matrix(OUTPUT_DIR / "resnet18_faults.npz")
-    print(f"stored fault file: {fault_path} ({baseline_wrapper.get_fault_matrix().num_faults} faults)")
+    # Generate the fault set once and persist it (plus the other result files).
+    first = run(base.copy(output_dir=OUTPUT_DIR / "baseline"), artifacts=artifacts)
+    fault_path = first.output_files["faults"]
+    print(f"stored fault file: {fault_path} "
+          f"({first.wrapper.get_fault_matrix().num_faults} faults)")
 
-    # Harden two copies with different range supervision strategies.
-    bounds = collect_activation_bounds(model, [images])
-    ranger_model = apply_protection(model, bounds, "ranger")
-    clipper_model = apply_protection(model, bounds, "clipper")
-
-    # Replay the identical faults against all three variants.
-    fault_matrix = FaultMatrix.load(fault_path)
+    # Replay the identical faults; each variant only changes the protection.
+    replay = base.copy(scenario=base.scenario.copy(fault_file=fault_path))
     rows = [
-        evaluate_variant("unprotected", model, fault_matrix, scenario, images, golden),
-        evaluate_variant("ranger", ranger_model, fault_matrix, scenario, images, golden),
-        evaluate_variant("clipper", clipper_model, fault_matrix, scenario, images, golden),
+        {
+            "variant": "unprotected",
+            "masked": first.summary["corrupted"]["masked_rate"],
+            "SDE": first.summary["corrupted"]["sde_rate"],
+            "DUE": first.summary["corrupted"]["due_rate"],
+        }
     ]
+    for protection in ("ranger", "clipper"):
+        result = run(replay.copy(protection=ComponentSpec(protection)), artifacts=artifacts)
+        kpis = result.summary["resil"]
+        rows.append(
+            {
+                "variant": protection,
+                "masked": kpis["masked_rate"],
+                "SDE": kpis["sde_rate"],
+                "DUE": kpis["due_rate"],
+            }
+        )
     print()
     print(
         comparison_table(
             rows,
             ["variant", "masked", "SDE", "DUE"],
-            title=f"Identical {fault_matrix.num_faults} weight faults replayed against three model variants",
+            title=(
+                f"Identical {first.wrapper.get_fault_matrix().num_faults} weight faults "
+                "replayed against three model variants"
+            ),
         )
     )
 

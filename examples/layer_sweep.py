@@ -1,86 +1,81 @@
 """Iterative experiments: layer sweep and bit-position sweep (Section V-D).
 
-Shows the run-time scenario mutation pattern of the paper: the scenario is
-fetched with ``wrapper.get_scenario()``, the layer window (or bit range) is
-moved, and the scenario is written back with ``wrapper.set_scenario()`` which
-regenerates the fault set — no manual reconfiguration between the steps of
-the sweep.
+The paper's iterative pattern — move the fault injection focus layer by
+layer (or bit by bit) and re-run — becomes a loop over declarative specs:
+each step copies the base spec with a mutated scenario (``layer_range`` or
+``rnd_bit_range``) and calls the one ``run`` entry point.  The fitted model
+and the dataset are built once and passed to every step as
+:class:`~repro.experiments.Artifacts`, so the steps only differ in their
+scenario — no wrapper plumbing, no manual reconfiguration.
 
 Run with:  python examples/layer_sweep.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.alficore import default_scenario, ptfiwrap
-from repro.data import SyntheticClassificationDataset
-from repro.eval import sde_rate
-from repro.models import alexnet
+from repro.experiments import Artifacts, DATASETS, Experiment, MODELS, run
 from repro.models.pretrained import fit_classifier_head
+from repro.pytorchfi import FaultInjection
 from repro.visualization import sde_per_bit_chart, sde_per_layer_chart
 
 IMAGES = 20
 
 
-def run_sweep(wrapper, images, golden, configure) -> dict[int, float]:
-    """Run one sweep: ``configure(scenario, step)`` mutates the scenario per step."""
-    results: dict[int, float] = {}
-    for step in configure.steps:
-        scenario = wrapper.get_scenario()
-        configure(scenario, step)
-        wrapper.set_scenario(scenario)
-        # Clone-free fault group sessions: one reusable hooked model per
-        # sweep step instead of a fresh model deep copy per image.
-        group_iter = wrapper.get_fault_group_iter()
-        corrupted = []
-        for index in range(len(images)):
-            with next(group_iter) as group:
-                corrupted.append(group.model(images[index : index + 1])[0])
-        group_iter.close()
-        rates = sde_rate(golden, np.stack(corrupted))
-        results[step] = rates["sde"] + rates["due"]
-    return results
-
-
-def main() -> None:
-    dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=3)
-    model = fit_classifier_head(alexnet(num_classes=10, seed=5), dataset, num_classes=10)
-    images = np.stack([dataset[i][0] for i in range(IMAGES)])
-    golden = model(images)
-
-    wrapper = ptfiwrap(
-        model,
-        scenario=default_scenario(
-            dataset_size=IMAGES,
+def base_spec():
+    return (
+        Experiment.builder()
+        .name("layer-sweep")
+        .model("alexnet", num_classes=10, seed=5)
+        .dataset("synthetic-classification", num_samples=IMAGES, num_classes=10, noise=0.25, seed=3)
+        .scenario(
             injection_target="neurons",
             rnd_value_type="bitflip",
             rnd_bit_range=(30, 31),
             random_seed=11,
-            batch_size=1,
-        ),
+            model_name="alexnet",
+            dataset_size=IMAGES,
+        )
+        .build()
     )
 
+
+def sweep(base, artifacts, scenario_overrides_per_step: dict) -> dict[int, float]:
+    """Run one spec per step; score each step by its SDE+DUE rate."""
+    results: dict[int, float] = {}
+    for step, overrides in scenario_overrides_per_step.items():
+        spec = base.copy(scenario=base.scenario.copy(**overrides))
+        kpis = run(spec, artifacts=artifacts).summary["corrupted"]
+        results[step] = kpis["sde_rate"] + kpis["due_rate"]
+    return results
+
+
+def main() -> None:
+    base = base_spec()
+
+    # Build the dataset and the fitted model once; every sweep step reuses
+    # them through Artifacts instead of re-resolving the registries.
+    dataset = DATASETS.get(base.dataset.name)(**base.dataset.params)
+    model = fit_classifier_head(MODELS.get(base.model.name)(**base.model.params), dataset, 10)
+    artifacts = Artifacts(model=model, dataset=dataset)
+
+    # Profile the model once (no campaign, no fault generation) to learn its
+    # injectable layer count / names.
+    injector = FaultInjection(model, layer_types=base.scenario.layer_types)
+    layer_names = {info.index: info.name for info in injector.layers}
+
     # --- sweep 1: move the fault injection focus layer by layer ------------
-    class LayerStep:
-        steps = range(wrapper.fault_injection.num_layers)
-
-        def __call__(self, scenario, layer):
-            scenario.layer_range = (layer, layer)
-
-    per_layer = run_sweep(wrapper, images, golden, LayerStep())
-    layer_names = {info.index: info.name for info in wrapper.fault_injection.layers}
+    per_layer = sweep(
+        base, artifacts,
+        {layer: {"layer_range": (layer, layer)} for layer in range(injector.num_layers)},
+    )
     print(sde_per_layer_chart(per_layer, "SDE+DUE per injected layer (AlexNet)", layer_names))
 
     # --- sweep 2: move the flipped bit position ----------------------------
-    class BitStep:
-        steps = (0, 10, 20, 23, 26, 28, 30, 31)
-
-        def __call__(self, scenario, bit):
-            scenario.layer_range = None
-            scenario.rnd_bit_range = (bit, bit)
-
-    per_bit = run_sweep(wrapper, images, golden, BitStep())
+    per_bit = sweep(
+        base, artifacts,
+        {bit: {"layer_range": None, "rnd_bit_range": (bit, bit)}
+         for bit in (0, 10, 20, 23, 26, 28, 30, 31)},
+    )
     print()
     print(sde_per_bit_chart(per_bit, "SDE+DUE per flipped bit position (AlexNet neurons)"))
 

@@ -1,10 +1,11 @@
 """High-level object detection campaign (Fig. 2b workflow).
 
-Runs a weight fault injection campaign on a YOLO-style detector over a
-synthetic CoCo-format dataset with ``TestErrorModels_ObjDet``, reports the
-IVMOD_SDE / IVMOD_DUE vulnerability metrics and CoCo-style mAP, and writes
-the three detection result file sets (ground truth + meta, per-image result
-JSON, KPI JSON) into ``examples_output/detection/``.
+Declares a weight fault injection campaign on a YOLO-style detector over a
+synthetic CoCo-format dataset as an :class:`~repro.experiments.ExperimentSpec`
+(task ``detection``), reports the IVMOD_SDE / IVMOD_DUE vulnerability
+metrics and CoCo-style mAP, and writes the three detection result file sets
+(ground truth + meta, per-image result JSON, KPI JSON) into
+``examples_output/detection/``.
 
 Run with:  python examples/object_detection_campaign.py
 """
@@ -13,9 +14,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.alficore import TestErrorModels_ObjDet, default_scenario
-from repro.data import CocoLikeDetectionDataset, coco_annotations_to_json
-from repro.models.detection import yolov3_tiny
+from repro.experiments import Experiment
 from repro.tensor import exponent_bit_range
 from repro.visualization import comparison_table
 
@@ -23,36 +22,26 @@ OUTPUT_DIR = Path("examples_output/detection")
 
 
 def main() -> None:
-    dataset = CocoLikeDetectionDataset(num_samples=20, num_classes=5, seed=9)
-    model = yolov3_tiny(num_classes=5, seed=1).eval()
-
-    # The dataset also exports standard CoCo-schema annotations.
-    annotations = coco_annotations_to_json(dataset)
-    print(
-        f"dataset: {len(annotations['images'])} images, "
-        f"{len(annotations['annotations'])} objects, "
-        f"{len(annotations['categories'])} categories"
+    result = (
+        Experiment.builder()
+        .name("yolov3-detection")
+        .task("detection")
+        .model("yolov3", num_classes=5, seed=1)
+        .dataset("synthetic-coco", num_samples=20, num_classes=5, seed=9)
+        .scenario(
+            injection_target="weights",
+            rnd_value_type="bitflip",
+            rnd_bit_range=exponent_bit_range("float32"),
+            random_seed=77,
+            model_name="yolov3",
+            dataset_name="synthetic-coco",
+        )
+        .output_dir(OUTPUT_DIR)
+        .run()
     )
 
-    scenario = default_scenario(
-        injection_target="weights",
-        rnd_value_type="bitflip",
-        rnd_bit_range=exponent_bit_range("float32"),
-        random_seed=77,
-        model_name="yolov3",
-        dataset_name="synthetic-coco",
-    )
-    runner = TestErrorModels_ObjDet(
-        model=model,
-        model_name="yolov3",
-        dataset=dataset,
-        scenario=scenario,
-        output_dir=OUTPUT_DIR,
-    )
-    output = runner.test_rand_ObjDet_SBFs_inj(num_faults=1, inj_policy="per_image")
-
-    ivmod = output.corrupted.ivmod
-    print()
+    corrupted = result.results["corrupted"]
+    ivmod = corrupted.ivmod
     print(
         comparison_table(
             [
@@ -62,8 +51,8 @@ def main() -> None:
                     "IVMOD_DUE": ivmod.due_rate,
                     "images w/ lost TPs": ivmod.tp_lost_images,
                     "images w/ added FPs": ivmod.fp_added_images,
-                    "golden mAP@0.5": output.corrupted.golden_map["mAP"],
-                    "corrupted mAP@0.5": output.corrupted.corrupted_map["mAP"],
+                    "golden mAP@0.5": corrupted.golden_map["mAP"],
+                    "corrupted mAP@0.5": corrupted.corrupted_map["mAP"],
                 }
             ],
             [
@@ -79,7 +68,7 @@ def main() -> None:
         )
     )
     print("\nresult files:")
-    for kind, path in output.output_files.items():
+    for kind, path in result.output_files.items():
         print(f"  {kind:15s} {path}")
 
 

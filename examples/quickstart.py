@@ -1,97 +1,35 @@
-"""Quickstart: the clone-free campaign engine.
+"""Quickstart: one declarative spec, one entry point.
 
-Wraps a pre-trained classifier and runs a complete fault-injection campaign
-with :class:`~repro.alficore.campaign.CampaignRunner`: golden and faulty
-inference run in lock-step over the dataset, but no model copy is ever made —
-each fault group's weight corruptions are patched *in place* on the original
-model and the exact original bit patterns are restored after every group
-(neuron campaigns reuse a single hooked model instead).  Per-inference result
-records are streamed to disk as they are produced, so memory stays bounded by
-the batch size no matter how large the campaign is.
-
-The lower-level Listing-1 loop is still available via
-``ptfiwrap.get_fault_group_iter()`` (see ``repro/alficore/wrapper.py``).
+A complete fault-injection campaign — model, dataset, fault scenario,
+protection, backend — is one :class:`~repro.experiments.ExperimentSpec`.
+Build it fluently (below), or load the identical YAML document
+(``examples/specs/quickstart.yml``) and run it with
+``python -m repro.cli run examples/specs/quickstart.yml``.
 
 Run with:  python examples/quickstart.py
 """
 
-from __future__ import annotations
-
-import json
-from pathlib import Path
-
-import numpy as np
-
-from repro.alficore import CampaignResultWriter, CampaignRunner, default_scenario
-from repro.data import SyntheticClassificationDataset
-from repro.models import lenet5
-from repro.models.pretrained import fit_classifier_head
-from repro.tensor.bitops import float_to_bits
-from repro.visualization import comparison_table
+from repro.experiments import Experiment
 
 
 def main() -> None:
-    # 1. An existing application: a pre-trained model and a dataset.
-    dataset = SyntheticClassificationDataset(num_samples=30, num_classes=10, noise=0.25, seed=1)
-    model = fit_classifier_head(lenet5(seed=0), dataset, num_classes=10)
-
-    # 2. Define the fault injection campaign (normally read from scenarios/default.yml).
-    scenario = default_scenario(
-        injection_target="weights",      # patch weights in place, restore bit-exactly
-        rnd_value_type="bitflip",
-        rnd_bit_range=(0, 31),            # any float32 bit
-        max_faults_per_image=1,
-        inj_policy="per_image",
-        random_seed=1234,
-        model_name="quickstart",
+    result = (
+        Experiment.builder()
+        .name("quickstart")
+        .model("lenet5", num_classes=10, seed=0)
+        .dataset("synthetic-classification", num_samples=30, num_classes=10, noise=0.25, seed=1)
+        .scenario(injection_target="weights", rnd_bit_range=(0, 31), random_seed=1234,
+                  model_name="quickstart")
+        .output_dir("quickstart_output")
+        .run()
     )
 
-    # 3. Build the campaign runner: profiles the model, pre-generates the
-    #    complete fault matrix (vectorized, bit-reproducible per seed) and
-    #    prepares streaming result writers.
-    writer = CampaignResultWriter("quickstart_output", campaign_name="quickstart")
-    runner = CampaignRunner(model, dataset, scenario=scenario, writer=writer)
-    print(f"injectable layers : {runner.wrapper.fault_injection.num_layers}")
-    print(f"pre-generated faults: {runner.wrapper.get_fault_matrix().num_faults}")
-
-    # Snapshot the weight bit patterns to demonstrate the restore guarantee.
-    bits_before = {name: float_to_bits(p.data).copy() for name, p in model.named_parameters()}
-
-    # 4. Run: golden + corrupted inference per image, NaN/Inf monitoring,
-    #    masked/SDE/DUE classification, records streamed to disk.
-    summary = runner.run()
-
-    # 5. The original model is bit-exactly restored after every fault group.
-    restored = all(
-        np.array_equal(bits_before[name], float_to_bits(p.data))
-        for name, p in model.named_parameters()
-    )
-    print(f"model bit-exactly restored: {restored}")
-
-    print()
-    print(
-        comparison_table(
-            [
-                {
-                    "model": summary.model_name,
-                    "inferences": summary.num_inferences,
-                    "golden top-1": summary.golden_top1_accuracy,
-                    "masked": summary.masked_rate,
-                    "SDE": summary.sde_rate,
-                    "DUE": summary.due_rate,
-                }
-            ],
-            ["model", "inferences", "golden top-1", "masked", "SDE", "DUE"],
-            title="Quickstart campaign (single weight bit flips, one per image, clone-free)",
-        )
-    )
-
-    # 6. The applied faults were streamed to disk (location, bit, flip
-    #    direction, original/corrupted value) — no in-memory accumulation.
-    applied = json.loads(Path(summary.output_files["applied_faults"]).read_text())
-    print("\nfirst three applied faults:")
-    for record in applied[:3]:
-        print(f"  {record}")
+    kpis = result.summary["corrupted"]
+    print(f"inferences      : {kpis['num_inferences']}")
+    print(f"golden top-1    : {kpis['golden_top1_accuracy']:.4f}")
+    print(f"masked/SDE/DUE  : {kpis['masked_rate']:.2f} / {kpis['sde_rate']:.2f} / {kpis['due_rate']:.2f}")
+    print("result files    :", ", ".join(sorted(result.output_files)))
+    print("first applied fault:", next(result.iter_records("applied_faults")))
 
 
 if __name__ == "__main__":

@@ -1,9 +1,8 @@
-"""Sharded parallel campaign execution.
+"""Sharded parallel campaign execution through the Experiment API.
 
-Runs the same weight fault injection campaign twice — serially and
-partitioned into shards through ``ShardedCampaignExecutor`` (via
-``CampaignRunner(workers=..., num_shards=...)``) — and verifies that the
-merged sharded output is *bit-identical* to the serial run: byte-equal
+Runs the same declarative spec twice — once on the ``serial`` backend and
+once partitioned into shards on the ``sharded`` backend — and verifies that
+the merged sharded output is *bit-identical* to the serial run: byte-equal
 record files and equal KPI summaries.  Every fault corruption is pre-drawn
 in the shared fault matrix and the loader's epoch permutations depend only
 on ``(seed, epoch)``, so each shard can deterministically re-derive its
@@ -18,58 +17,56 @@ import os
 import time
 from pathlib import Path
 
-from repro.alficore import CampaignResultWriter, CampaignRunner, default_scenario
-from repro.data import SyntheticClassificationDataset
-from repro.models import lenet5
-from repro.models.pretrained import fit_classifier_head
+from repro.experiments import Experiment
 from repro.visualization import comparison_table
 
 OUTPUT_DIR = Path("examples_output/sharded")
 
 
-def main() -> None:
-    dataset = SyntheticClassificationDataset(num_samples=24, num_classes=10, noise=0.25, seed=3)
-    model = fit_classifier_head(lenet5(seed=0), dataset, 10)
-    scenario = default_scenario(
-        injection_target="weights",
-        rnd_bit_range=(23, 30),
-        random_seed=42,
-        model_name="sharded",
+def build_spec(sub: str, backend: str, workers: int, num_shards: int | None):
+    return (
+        Experiment.builder()
+        .name("sharded")
+        .model("lenet5", num_classes=10, seed=0)
+        .dataset("synthetic-classification", num_samples=24, num_classes=10, noise=0.25, seed=3)
+        .scenario(
+            injection_target="weights",
+            rnd_bit_range=(23, 30),
+            random_seed=42,
+            model_name="sharded",
+        )
+        .backend(backend, workers=workers, num_shards=num_shards)
+        .output_dir(OUTPUT_DIR / sub)
+        .build()
     )
+
+
+def main() -> None:
     workers = min(2, os.cpu_count() or 1)
 
-    def run(sub: str, n_workers: int, n_shards: int):
-        writer = CampaignResultWriter(OUTPUT_DIR / sub, campaign_name="sharded")
-        runner = CampaignRunner(
-            model, dataset, scenario=scenario, writer=writer,
-            workers=n_workers, num_shards=n_shards,
-        )
+    def run_spec(spec):
         start = time.perf_counter()
-        summary = runner.run()
-        return time.perf_counter() - start, summary
+        result = Experiment(spec).run()
+        return time.perf_counter() - start, result
 
-    serial_seconds, serial = run("serial", 1, 1)
-    sharded_seconds, sharded = run("sharded", workers, 3)
+    serial_seconds, serial = run_spec(build_spec("serial", "serial", 1, None))
+    sharded_seconds, sharded = run_spec(build_spec("sharded", "sharded", workers, 3))
 
     identical = all(
         Path(serial.output_files[tag]).read_bytes() == Path(sharded.output_files[tag]).read_bytes()
         for tag in ("golden_csv", "corrupted_csv", "applied_faults")
     )
-    print(
-        comparison_table(
-            [
-                {"run": "serial", "seconds": serial_seconds, "SDE": serial.sde_rate, "DUE": serial.due_rate},
-                {
-                    "run": f"sharded (3 shards, {workers} workers)",
-                    "seconds": sharded_seconds,
-                    "SDE": sharded.sde_rate,
-                    "DUE": sharded.due_rate,
-                },
-            ],
-            ["run", "seconds", "SDE", "DUE"],
-            title="Sharded campaign execution vs serial",
+    rows = []
+    for label, seconds, result in (
+        ("serial", serial_seconds, serial),
+        (f"sharded (3 shards, {workers} workers)", sharded_seconds, sharded),
+    ):
+        kpis = result.summary["corrupted"]
+        rows.append(
+            {"run": label, "seconds": seconds, "SDE": kpis["sde_rate"], "DUE": kpis["due_rate"]}
         )
-    )
+    print(comparison_table(rows, ["run", "seconds", "SDE", "DUE"],
+                           title="Sharded campaign execution vs serial"))
     print(f"\nmerged record files bit-identical to serial run: {identical}")
     print("per-shard record files kept under:", OUTPUT_DIR / "sharded" / "shards")
 

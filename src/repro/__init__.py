@@ -16,6 +16,9 @@ provides the substrates the paper depends on:
   persistence, KPI generation and model hardening.
 * :mod:`repro.eval` -- classification and detection KPIs (SDE / DUE / IVMOD /
   CoCo-style mAP).
+* :mod:`repro.experiments` -- the unified declarative Experiment API: one
+  serializable spec, central component registries, and a single
+  ``run(spec) -> CampaignResult`` entry point.
 """
 
 from repro.version import __version__

@@ -24,8 +24,10 @@ The subpackage provides everything Section IV of the paper describes:
   binary fault files, CSV (classification) and JSON (detection) outputs.
 * **High-level test classes**
   (:mod:`~repro.alficore.test_error_models_imgclass`,
-  :mod:`~repro.alficore.test_error_models_objdet`): turnkey campaign runners
-  producing the three result file sets described in Section V.
+  :mod:`~repro.alficore.test_error_models_objdet`): the paper's turnkey
+  campaign runners, now *deprecated shims* that build an experiment spec and
+  delegate to the unified Experiment API (:mod:`repro.experiments`) — which
+  is the recommended way to define and run campaigns.
 """
 
 from repro.alficore.analysis import (

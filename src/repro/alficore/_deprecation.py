@@ -1,0 +1,25 @@
+"""Warn-once plumbing for the deprecated pre-Experiment-API facades."""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def warn_once(name: str, replacement: str) -> None:
+    """Emit a single ``DeprecationWarning`` per facade per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; define an ExperimentSpec and call "
+        f"{replacement} from repro.experiments instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_warnings() -> None:
+    """Forget which facades already warned (test helper)."""
+    _WARNED.clear()

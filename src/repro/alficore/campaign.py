@@ -43,6 +43,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.alficore._deprecation import warn_once
 from repro.alficore.goldencache import GoldenCache
 from repro.alficore.monitoring import MonitorCache, MonitorResult
 from repro.alficore.policies import InjectionPolicy
@@ -1258,6 +1259,7 @@ class CampaignRunner:
         prefix_reuse: bool = True,
         golden_cache: GoldenCache | None = None,
     ):
+        warn_once("CampaignRunner", "run()")
         self.task = ClassificationTask()
         self.core = CampaignCore(
             model,
@@ -1296,13 +1298,30 @@ class CampaignRunner:
         return self.core.wrapper
 
     def run(self) -> CampaignSummary:
-        """Execute the campaign and return the aggregate KPIs."""
+        """Execute the campaign and return the aggregate KPIs.
+
+        Delegates to the unified Experiment API entry point with the
+        pre-built :class:`CampaignCore` as an artifact, so the streamed
+        record files are byte-identical to a pure-spec run.
+        """
+        from repro.experiments.runner import Artifacts, facade_spec, run
+
         self.task.reset()
-        executor = ShardedCampaignExecutor(
-            self.core, workers=self.workers, num_shards=self.num_shards
+        # prefix_reuse/caching in the spec are informational here: the
+        # pre-built core (passed as an artifact) already carries them.  The
+        # kpi file is written by _summarize in the runner's own shape, so the
+        # task plug-in's kpis write is turned off.
+        spec = facade_spec(
+            name=self.scenario.model_name,
+            task="classification",
+            scenario=self.scenario,
+            workers=self.workers,
+            num_shards=self.num_shards,
+            prefix_reuse=self.core.prefix_reuse,
+            task_options={"write_kpis": False},
         )
-        state, stream_paths = executor.run()
-        return self._summarize(state, stream_paths)
+        result = run(spec, artifacts=Artifacts(core=self.core))
+        return self._summarize(result.state, result.output_files)
 
     def _summarize(self, state: ClassificationState, stream_paths: dict[str, str]) -> CampaignSummary:
         n = state.inferences
@@ -1310,11 +1329,10 @@ class CampaignRunner:
         output_files: dict[str, str] = {}
         writer = self.core.writer
         if writer is not None:
+            # The Experiment-API write path persisted the meta yml and the
+            # fault matrix (its kpis write is disabled via task_options); the
+            # runner-shaped kpi summary is written below.
             output_files = dict(stream_paths)
-            output_files["meta"] = str(
-                writer.write_meta(self.scenario, extra={"model_name": self.scenario.model_name})
-            )
-            output_files["faults"] = str(writer.write_fault_matrix(self.wrapper.get_fault_matrix()))
         summary = CampaignSummary(
             model_name=self.scenario.model_name,
             num_inferences=n,

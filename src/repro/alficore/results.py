@@ -389,7 +389,7 @@ class CampaignResultWriter:
 
 
 def _to_plain(value: Any):
-    """Recursively convert numpy scalars/arrays into plain Python types."""
+    """Recursively convert numpy scalars/arrays and Paths into plain Python."""
     if isinstance(value, dict):
         return {key: _to_plain(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
@@ -400,4 +400,6 @@ def _to_plain(value: Any):
         return int(value)
     if isinstance(value, (np.floating,)):
         return float(value)
+    if isinstance(value, Path):
+        return str(value)
     return value

@@ -15,6 +15,11 @@ from pathlib import Path
 
 import yaml
 
+# Version of the serialized scenario schema.  Bump when a field is added,
+# removed or changes meaning; ``from_dict`` refuses documents written by a
+# *newer* schema (older documents without the key load as version 1).
+SCENARIO_SCHEMA_VERSION = 1
+
 # Allowed values for the categorical scenario fields.
 INJECTION_TARGETS = ("neurons", "weights")
 VALUE_TYPES = ("bitflip", "number", "stuck_at")
@@ -22,6 +27,50 @@ INJECTION_POLICIES = ("per_image", "per_batch", "per_epoch")
 FAULT_PERSISTENCE = ("transient", "permanent")
 LAYER_TYPES = ("conv2d", "conv3d", "fcc")
 SUPPORTED_QUANTIZATION = ("float32", "float16", "float64", "int8", "int16", "int32")
+
+# Value types contributed by plug-ins (``repro.experiments.register_error_model``)
+# on top of the built-in VALUE_TYPES.
+_EXTRA_VALUE_TYPES: set[str] = set()
+
+
+def register_value_type(name: str) -> None:
+    """Allow ``rnd_value_type=name`` in scenarios (plug-in error models)."""
+    name = str(name)
+    if name not in VALUE_TYPES:
+        _EXTRA_VALUE_TYPES.add(name)
+
+
+def unregister_value_type(name: str) -> None:
+    """Inverse of :func:`register_value_type` (built-ins are untouched)."""
+    _EXTRA_VALUE_TYPES.discard(str(name))
+
+
+def known_value_types() -> tuple[str, ...]:
+    """All accepted ``rnd_value_type`` values (built-in + registered)."""
+    return VALUE_TYPES + tuple(sorted(_EXTRA_VALUE_TYPES))
+
+
+def coerce_schema_version(value, supported: int, label: str) -> int:
+    """Normalize a document's ``schema_version`` value.
+
+    Missing/``None`` means "current"; non-integers and versions newer than
+    ``supported`` raise ``ValueError``.  Shared by the scenario and the
+    experiment-spec loaders so the version policy has one implementation.
+    """
+    if value is None:
+        return supported
+    if isinstance(value, bool):
+        raise ValueError(f"{label} schema_version must be an integer, got {value!r}")
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{label} schema_version must be an integer, got {value!r}") from None
+    if value > supported:
+        raise ValueError(
+            f"{label} schema version {value} is newer than the supported "
+            f"version {supported}; upgrade the package to load it"
+        )
+    return value
 
 
 @dataclass
@@ -75,7 +124,9 @@ class ScenarioConfig:
     model_name: str = "model"
     dataset_name: str = "dataset"
     random_seed: int = 1234
-    fault_file: str | None = None  # path of a pre-generated fault matrix to reuse
+    # Path of a pre-generated fault matrix to reuse; normalized to
+    # ``Path | None`` by ``validate`` (strings are accepted on input).
+    fault_file: str | Path | None = None
 
     def __post_init__(self):
         self.validate()
@@ -107,10 +158,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"fault_persistence must be one of {FAULT_PERSISTENCE}, got {self.fault_persistence!r}"
             )
-        if self.rnd_value_type not in VALUE_TYPES:
+        if self.rnd_value_type not in VALUE_TYPES and self.rnd_value_type not in _EXTRA_VALUE_TYPES:
             raise ValueError(
-                f"rnd_value_type must be one of {VALUE_TYPES}, got {self.rnd_value_type!r}"
+                f"rnd_value_type must be one of {known_value_types()}, got {self.rnd_value_type!r}"
             )
+        self.fault_file = Path(self.fault_file) if self.fault_file else None
         if self.quantization not in SUPPORTED_QUANTIZATION:
             raise ValueError(
                 f"quantization must be one of {SUPPORTED_QUANTIZATION}, got {self.quantization!r}"
@@ -164,19 +216,25 @@ class ScenarioConfig:
     def as_dict(self) -> dict:
         """Return the configuration as a plain (yml-serialisable) dictionary."""
         raw = dataclasses.asdict(self)
+        raw["schema_version"] = SCENARIO_SCHEMA_VERSION
         raw["rnd_bit_range"] = list(self.rnd_bit_range)
         raw["layer_types"] = list(self.layer_types)
         raw["layer_range"] = list(self.layer_range) if self.layer_range is not None else None
+        raw["fault_file"] = str(self.fault_file) if self.fault_file is not None else None
         return raw
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioConfig":
-        """Build a configuration from a dictionary, ignoring unknown keys."""
+        """Build a configuration from a dictionary; unknown keys are an error."""
+        data = dict(data)
+        coerce_schema_version(data.pop("schema_version", None), SCENARIO_SCHEMA_VERSION, "scenario")
         known = {f.name for f in dataclasses.fields(cls)}
         filtered = {key: value for key, value in data.items() if key in known}
         unknown = set(data) - known
         if unknown:
-            raise KeyError(f"unknown scenario keys: {sorted(unknown)}")
+            raise KeyError(
+                f"unknown scenario keys: {sorted(unknown)}; known keys: {sorted(known)}"
+            )
         if "rnd_bit_range" in filtered and filtered["rnd_bit_range"] is not None:
             filtered["rnd_bit_range"] = tuple(filtered["rnd_bit_range"])
         if "layer_types" in filtered and filtered["layer_types"] is not None:

@@ -1,21 +1,13 @@
-"""High-level campaign runner for image classification networks.
+"""Deprecated facade for image classification campaigns.
 
-``TestErrorModels_ImgClass`` encapsulates the complete workflow of Section
-V-B for classification CNNs as a thin facade over the task-pluggable
-:class:`~repro.alficore.campaign.CampaignCore`: it wraps the dataset with the
-metadata-enriched loader, builds the ``ptfiwrap`` wrapper, pre-generates (or
-reloads) the fault matrix, runs golden / corrupted / optionally hardened
-inference in lock-step over the dataset, monitors NaN/Inf events, streams the
-result file sets (meta yml, fault binaries, CSV outputs) and finally computes
-the KPIs (top-k accuracy, masked/SDE/DUE rates).
-
-Faulty inference goes through the clone-free fault group sessions: weight
-faults are patched into the original model in place (and restored bit-exactly
-after each group), neuron faults reuse one hooked clone.  The applied-fault
-log is collected per group from the sessions — the injector's shared log is
-no longer grown across campaign iterations.  With ``workers`` / ``num_shards``
-the campaign is partitioned into contiguous shards and executed in parallel;
-the merged output is bit-identical to a serial run of the same seed.
+``TestErrorModels_ImgClass`` is kept as a thin shim over the unified
+Experiment API (:mod:`repro.experiments`): it builds an
+:class:`~repro.experiments.spec.ExperimentSpec` from its constructor
+arguments, hands its in-memory model/dataset objects over as
+:class:`~repro.experiments.runner.Artifacts` and delegates to
+:func:`repro.experiments.run` — so facade runs and pure-spec runs share one
+code path and produce byte-identical result files.  New code should define
+a spec (YAML or ``Experiment.builder()``) and call ``run`` directly.
 """
 
 from __future__ import annotations
@@ -25,19 +17,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.alficore.campaign import (
-    CampaignCore,
-    ClassificationTask,
-    ShardedCampaignExecutor,
-    normalize_campaign_scenario,
-)
-from repro.alficore.results import CampaignResultWriter
+from repro.alficore._deprecation import warn_once
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
 from repro.alficore.wrapper import ptfiwrap
-from repro.eval.classification import (
-    ClassificationCampaignResult,
-    evaluate_classification_campaign,
-)
+from repro.eval.classification import ClassificationCampaignResult
 from repro.nn.module import Module
 
 
@@ -104,6 +87,7 @@ class TestErrorModels_ImgClass:
         prefix_reuse: bool = True,
         golden_cache=None,
     ):
+        warn_once("TestErrorModels_ImgClass", "run()")
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
         self.model = model.eval()
@@ -154,88 +138,45 @@ class TestErrorModels_ImgClass:
             :class:`ImgClassCampaignOutput` with KPI objects, raw logits and
             the paths of all written result files.
         """
-        scenario = normalize_campaign_scenario(
-            self._base_scenario.copy(
-                max_faults_per_image=num_faults,
+        from repro.experiments.runner import Artifacts, facade_run_scenario, facade_spec, run
+
+        spec = facade_spec(
+            name=self.model_name,
+            task="classification",
+            scenario=facade_run_scenario(
+                self._base_scenario,
+                num_faults=num_faults,
                 inj_policy=inj_policy,
                 num_runs=num_runs,
                 model_name=self.model_name,
+                fault_file=fault_file,
             ),
-            self.dataset,
-        )
-        self.wrapper = ptfiwrap(self.model, scenario=scenario, input_shape=self.input_shape)
-        if fault_file:
-            self.wrapper.update_scenario(fault_file=fault_file)
-
-        writer = (
-            CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
-            if self.output_dir is not None
-            else None
-        )
-        task = ClassificationTask(collect_outputs=True)
-        core = CampaignCore(
-            self.model,
-            self.dataset,
-            task,
-            scenario=scenario,
-            writer=writer,
+            workers=self.workers,
+            num_shards=self.num_shards,
+            prefix_reuse=self.prefix_reuse,
             input_shape=self.input_shape,
             dl_shuffle=self.dl_shuffle,
-            resil_model=self.resil_model,
-            wrapper=self.wrapper,
-            prefix_reuse=self.prefix_reuse,
-            golden_cache=self.golden_cache,
+            output_dir=self.output_dir,
         )
-        self.resil_wrapper = core.resil_wrapper
-        executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)
-        state, stream_paths = executor.run()
-        self.applied_faults = list(state.applied_log)
-
-        golden_arr = np.stack(state.golden_logits)
-        corrupted_arr = np.stack(state.corrupted_logits)
-        labels_arr = np.asarray(state.labels, dtype=np.int64)
-        due_arr = np.asarray(state.due_flags, dtype=bool)
-        corrupted_result = evaluate_classification_campaign(
-            golden_arr, corrupted_arr, labels_arr, due_arr, model_name=self.model_name
+        result = run(
+            spec,
+            artifacts=Artifacts(
+                model=self.model,
+                resil_model=self.resil_model,
+                dataset=self.dataset,
+                golden_cache=self.golden_cache,
+            ),
         )
-        resil_result = None
-        resil_arr = None
-        if state.resil_logits:
-            resil_arr = np.stack(state.resil_logits)
-            resil_golden_arr = np.stack(state.resil_golden_logits)
-            resil_result = evaluate_classification_campaign(
-                resil_golden_arr, resil_arr, labels_arr, model_name=f"{self.model_name}_resil"
-            )
-
-        output_files = self._write_outputs(writer, scenario, stream_paths, corrupted_result, resil_result)
+        self.wrapper = result.wrapper
+        self.resil_wrapper = result.core.resil_wrapper
+        self.applied_faults = list(result.state.applied_log)
         return ImgClassCampaignOutput(
-            corrupted=corrupted_result,
-            resil=resil_result,
-            golden_logits=golden_arr,
-            corrupted_logits=corrupted_arr,
-            resil_logits=resil_arr,
-            labels=labels_arr,
-            due_flags=due_arr,
-            output_files=output_files,
+            corrupted=result.results["corrupted"],
+            resil=result.results.get("resil"),
+            golden_logits=result.extras["golden_logits"],
+            corrupted_logits=result.extras["corrupted_logits"],
+            resil_logits=result.extras["resil_logits"],
+            labels=result.extras["labels"],
+            due_flags=result.extras["due_flags"],
+            output_files=result.output_files,
         )
-
-    def _write_outputs(
-        self,
-        writer: CampaignResultWriter | None,
-        scenario: ScenarioConfig,
-        stream_paths: dict[str, str],
-        corrupted_result: ClassificationCampaignResult,
-        resil_result: ClassificationCampaignResult | None,
-    ) -> dict[str, str]:
-        if writer is None or self.wrapper is None:
-            return {}
-        paths = {
-            "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
-            "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
-            **stream_paths,
-        }
-        kpis = {"corrupted": corrupted_result.as_dict()}
-        if resil_result is not None:
-            kpis["resil"] = resil_result.as_dict()
-        paths["kpis"] = str(writer.write_kpi_summary(kpis))
-        return paths

@@ -1,17 +1,13 @@
-"""High-level campaign runner for object detection networks.
+"""Deprecated facade for object detection campaigns.
 
-``TestErrorModels_ObjDet`` mirrors :class:`TestErrorModels_ImgClass` for
-detectors as a thin facade over the task-pluggable
-:class:`~repro.alficore.campaign.CampaignCore`: golden / corrupted (and
-optionally hardened) inference run in lock-step over a CoCo-style dataset
-through the clone-free fault group sessions — weight faults are patched into
-the original detector in place (no per-group model copy) and neuron faults
-reuse one hooked clone.  Per-image result records are *streamed* to JSON as
-they are produced (O(batch) memory); only the small per-image prediction
-dicts needed for CoCo-style mAP and the IVMOD vulnerability metrics (Fig. 2b
-of the paper) are retained.  NaN and Inf events are attributed separately per
-event type, and ``workers`` / ``num_shards`` run the campaign sharded with a
-merged output bit-identical to a serial run.
+``TestErrorModels_ObjDet`` is kept as a thin shim over the unified
+Experiment API (:mod:`repro.experiments`): it builds an
+:class:`~repro.experiments.spec.ExperimentSpec` from its constructor
+arguments, hands its in-memory detector/dataset objects over as
+:class:`~repro.experiments.runner.Artifacts` and delegates to
+:func:`repro.experiments.run` — so facade runs and pure-spec runs share one
+code path and produce byte-identical result files.  New code should define
+a spec (YAML or ``Experiment.builder()``) and call ``run`` directly.
 """
 
 from __future__ import annotations
@@ -19,18 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
-
-from repro.alficore.campaign import (
-    CampaignCore,
-    DetectionTask,
-    ShardedCampaignExecutor,
-    normalize_campaign_scenario,
-)
-from repro.alficore.results import CampaignResultWriter
+from repro.alficore._deprecation import warn_once
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario
 from repro.alficore.wrapper import ptfiwrap
-from repro.eval.detection import DetectionCampaignResult, evaluate_detection_campaign
+from repro.eval.detection import DetectionCampaignResult
 from repro.nn.module import Module
 
 
@@ -99,6 +87,7 @@ class TestErrorModels_ObjDet:
         prefix_reuse: bool = True,
         golden_cache=None,
     ):
+        warn_once("TestErrorModels_ObjDet", "run()")
         if dataset is None:
             raise ValueError("a dataset is required to run a fault injection campaign")
         self.model = model.eval()
@@ -148,102 +137,46 @@ class TestErrorModels_ObjDet:
         Args mirror
         :meth:`TestErrorModels_ImgClass.test_rand_ImgClass_SBFs_inj`.
         """
-        scenario = normalize_campaign_scenario(
-            self._base_scenario.copy(
-                max_faults_per_image=num_faults,
+        from repro.experiments.runner import Artifacts, facade_run_scenario, facade_spec, run
+
+        spec = facade_spec(
+            name=self.model_name,
+            task="detection",
+            scenario=facade_run_scenario(
+                self._base_scenario,
+                num_faults=num_faults,
                 inj_policy=inj_policy,
                 num_runs=num_runs,
                 model_name=self.model_name,
+                fault_file=fault_file,
             ),
-            self.dataset,
-        )
-        self.wrapper = ptfiwrap(self.model, scenario=scenario, input_shape=self.input_shape)
-        if fault_file:
-            self.wrapper.update_scenario(fault_file=fault_file)
-
-        writer = (
-            CampaignResultWriter(self.output_dir, campaign_name=self.model_name)
-            if self.output_dir is not None
-            else None
-        )
-        task = DetectionTask(collect_applied_log=True)
-        core = CampaignCore(
-            self.model,
-            self.dataset,
-            task,
-            scenario=scenario,
-            writer=writer,
+            workers=self.workers,
+            num_shards=self.num_shards,
+            prefix_reuse=self.prefix_reuse,
             input_shape=self.input_shape,
             dl_shuffle=self.dl_shuffle,
-            resil_model=self.resil_model,
-            wrapper=self.wrapper,
-            prefix_reuse=self.prefix_reuse,
-            golden_cache=self.golden_cache,
+            output_dir=self.output_dir,
         )
-        self.resil_wrapper = core.resil_wrapper
-        executor = ShardedCampaignExecutor(core, workers=self.workers, num_shards=self.num_shards)
-        state, stream_paths = executor.run()
-        self.applied_faults = list(state.applied_log)
-
-        corrupted_result = evaluate_detection_campaign(
-            state.golden_predictions,
-            state.corrupted_predictions,
-            state.targets,
-            self.num_classes,
-            model_name=self.model_name,
-            due_flags=state.due_flags,
+        result = run(
+            spec,
+            artifacts=Artifacts(
+                model=self.model,
+                resil_model=self.resil_model,
+                dataset=self.dataset,
+                golden_cache=self.golden_cache,
+                num_classes=self.num_classes,
+            ),
         )
-        resil_result = None
-        if state.resil_predictions:
-            resil_result = evaluate_detection_campaign(
-                state.resil_golden_predictions,
-                state.resil_predictions,
-                state.targets,
-                self.num_classes,
-                model_name=f"{self.model_name}_resil",
-            )
-        output_files = self._write_outputs(
-            writer, scenario, stream_paths, state.targets, corrupted_result, resil_result
-        )
+        self.wrapper = result.wrapper
+        self.resil_wrapper = result.core.resil_wrapper
+        self.applied_faults = list(result.state.applied_log)
         return ObjDetCampaignOutput(
-            corrupted=corrupted_result,
-            resil=resil_result,
-            golden_predictions=state.golden_predictions,
-            corrupted_predictions=state.corrupted_predictions,
-            resil_predictions=state.resil_predictions or None,
-            targets=state.targets,
-            due_flags=state.due_flags,
-            output_files=output_files,
+            corrupted=result.results["corrupted"],
+            resil=result.results.get("resil"),
+            golden_predictions=result.extras["golden_predictions"],
+            corrupted_predictions=result.extras["corrupted_predictions"],
+            resil_predictions=result.extras["resil_predictions"],
+            targets=result.extras["targets"],
+            due_flags=result.extras["due_flags"],
+            output_files=result.output_files,
         )
-
-    def _write_outputs(
-        self,
-        writer: CampaignResultWriter | None,
-        scenario: ScenarioConfig,
-        stream_paths: dict[str, str],
-        targets: list[dict],
-        corrupted_result: DetectionCampaignResult,
-        resil_result: DetectionCampaignResult | None,
-    ) -> dict[str, str]:
-        if writer is None or self.wrapper is None:
-            return {}
-        serialisable_targets = [
-            {
-                "image_id": int(target["image_id"]),
-                "file_name": target["file_name"],
-                "boxes": np.asarray(target["boxes"]).tolist(),
-                "labels": np.asarray(target["labels"]).tolist(),
-            }
-            for target in targets
-        ]
-        paths = {
-            "meta": str(writer.write_meta(scenario, extra={"model_name": self.model_name})),
-            "faults": str(writer.write_fault_matrix(self.wrapper.get_fault_matrix())),
-            "ground_truth": str(writer.write_ground_truth_json(serialisable_targets)),
-            **stream_paths,
-        }
-        kpis = {"corrupted": corrupted_result.as_dict()}
-        if resil_result is not None:
-            kpis["resil"] = resil_result.as_dict()
-        paths["kpis"] = str(writer.write_kpi_summary(kpis))
-        return paths

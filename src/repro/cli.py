@@ -1,18 +1,21 @@
 """Command-line interface for fault injection campaigns.
 
-Exposes the high-level workflows as a console script (``pytorchalfi``):
+Exposes the declarative Experiment API as a console script (``pytorchalfi``):
 
-* ``pytorchalfi run-imgclass``  — classification campaign over the synthetic
-  dataset with any model of the zoo, optional Ranger/Clipper hardening, full
-  result file output.
-* ``pytorchalfi run-objdet``    — object-detection campaign with IVMOD / mAP
-  KPIs over the synthetic CoCo-style dataset.
-* ``pytorchalfi analyze``       — post-process a stored campaign directory
+* ``pytorchalfi run <spec.yml>`` — run a campaign described by an experiment
+  specification file (YAML or JSON); the one entry point every workload
+  shares.
+* ``pytorchalfi validate <spec.yml ...>`` — load and validate spec files
+  against the component registries (typos get did-you-mean suggestions).
+* ``pytorchalfi run-imgclass`` / ``pytorchalfi run-objdet`` — flag-driven
+  spec *builders* for the two built-in workloads; ``--save-spec`` writes the
+  equivalent spec file for later ``run`` invocations.
+* ``pytorchalfi analyze`` — post-process a stored campaign directory
   (bit-wise / layer-wise vulnerability breakdown).
 
-The CLI intentionally mirrors the scenario parameters of ``default.yml`` so a
-campaign can be fully described either in the configuration file or on the
-command line.
+All ``choices`` lists are derived from the central registries
+(``sorted(registry)``), so registering a new model/protection/value type
+automatically extends the CLI help text.
 """
 
 from __future__ import annotations
@@ -22,18 +25,26 @@ import json
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.alficore import GoldenCache, default_scenario, load_scenario
+from repro.alficore import default_scenario, load_scenario
 from repro.alficore.analysis import analyze_classification_campaign, analyze_detection_campaign
-from repro.alficore.protection import apply_protection, collect_activation_bounds
-from repro.alficore.test_error_models_imgclass import TestErrorModels_ImgClass
-from repro.alficore.test_error_models_objdet import TestErrorModels_ObjDet
-from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
-from repro.models import MODEL_REGISTRY, build_model
-from repro.models.detection import DETECTOR_REGISTRY, build_detector
-from repro.models.pretrained import fit_classifier_head
-from repro.visualization import bar_chart, comparison_table, sde_per_bit_chart, sde_per_layer_chart
+from repro.alficore.scenario import INJECTION_POLICIES, INJECTION_TARGETS
+from repro.experiments import (
+    BackendSpec,
+    CachingSpec,
+    ComponentSpec,
+    ERROR_MODELS,
+    ExperimentSpec,
+    MODELS,
+    PROTECTIONS,
+    TASKS,
+    run,
+)
+from repro.visualization import comparison_table, sde_per_bit_chart, sde_per_layer_chart
+
+
+def _optional_path(value: str) -> Path | None:
+    """``--fault-file ""`` (e.g. an unset shell variable) means "not given"."""
+    return Path(value) if value else None
 
 
 def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,10 +69,10 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         help="in-memory budget (MB) of the epoch-invariant golden cache; 0 disables it",
     )
     parser.add_argument(
-        "--target", choices=("neurons", "weights"), default="weights", help="fault injection target"
+        "--target", choices=INJECTION_TARGETS, default="weights", help="fault injection target"
     )
     parser.add_argument(
-        "--value-type", choices=("bitflip", "number", "stuck_at"), default="bitflip",
+        "--value-type", choices=sorted(ERROR_MODELS), default="bitflip",
         help="how the targeted value is corrupted",
     )
     parser.add_argument(
@@ -69,13 +80,19 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         help="inclusive bit range for bit flips",
     )
     parser.add_argument(
-        "--inj-policy", choices=("per_image", "per_batch", "per_epoch"), default="per_image",
+        "--inj-policy", choices=INJECTION_POLICIES, default="per_image",
         help="how long one fault set stays active",
     )
     parser.add_argument("--seed", type=int, default=1234, help="campaign random seed")
     parser.add_argument("--scenario", type=Path, default=None, help="optional scenario yml file")
-    parser.add_argument("--fault-file", type=str, default="", help="reuse a stored fault matrix")
+    parser.add_argument(
+        "--fault-file", type=_optional_path, default=None, help="reuse a stored fault matrix"
+    )
     parser.add_argument("--output-dir", type=Path, default=Path("campaign_output"))
+    parser.add_argument(
+        "--save-spec", type=Path, default=None, metavar="SPEC",
+        help="also write the equivalent experiment spec file (YAML/JSON by suffix)",
+    )
 
 
 def _scenario_from_args(args: argparse.Namespace):
@@ -88,36 +105,40 @@ def _scenario_from_args(args: argparse.Namespace):
         "rnd_value_type": args.value_type,
         "rnd_bit_range": tuple(args.bit_range),
         "random_seed": args.seed,
+        "dataset_size": args.images,
+        "max_faults_per_image": args.num_faults,
+        "inj_policy": args.inj_policy,
+        "num_runs": args.num_runs,
+        "model_name": args.model,
     }
+    if args.fault_file is not None:
+        # Only an explicit --fault-file overrides; a fault_file declared in
+        # the --scenario yml keeps replaying its stored matrix.
+        overrides["fault_file"] = args.fault_file
     if args.batch_size is not None:
         overrides["batch_size"] = args.batch_size
     return scenario.copy(**overrides)
 
 
-def _run_campaign(runner_cls, args: argparse.Namespace, **runner_kwargs):
-    """Shared campaign plumbing of the ``run-imgclass``/``run-objdet`` commands."""
-    golden_cache = (
-        GoldenCache(byte_budget=args.golden_cache * 2**20) if args.golden_cache > 0 else None
-    )
-    runner = runner_cls(
-        model_name=args.model,
+def _spec_from_args(args: argparse.Namespace, task: str, dataset: ComponentSpec) -> ExperimentSpec:
+    """Assemble the experiment spec a ``run-imgclass``/``run-objdet`` call describes."""
+    protection = getattr(args, "protection", "none")
+    return ExperimentSpec(
+        name=args.model,
+        task=task,
+        model=ComponentSpec(
+            args.model, {"num_classes": args.num_classes, "seed": args.model_seed}
+        ),
+        dataset=dataset,
         scenario=_scenario_from_args(args),
+        protection=ComponentSpec(protection) if protection != "none" else None,
+        backend=BackendSpec(
+            name="sharded" if args.workers > 1 else "serial", workers=args.workers
+        ),
+        caching=CachingSpec(
+            golden_cache_mb=args.golden_cache, prefix_reuse=not args.no_prefix_reuse
+        ),
         output_dir=args.output_dir,
-        workers=args.workers,
-        prefix_reuse=not args.no_prefix_reuse,
-        golden_cache=golden_cache,
-        **runner_kwargs,
-    )
-    run = (
-        runner.test_rand_ImgClass_SBFs_inj
-        if runner_cls is TestErrorModels_ImgClass
-        else runner.test_rand_ObjDet_SBFs_inj
-    )
-    return run(
-        fault_file=args.fault_file,
-        num_faults=args.num_faults,
-        inj_policy=args.inj_policy,
-        num_runs=args.num_runs,
     )
 
 
@@ -127,73 +148,90 @@ def _print_result_files(output_files: dict[str, str]) -> None:
         print(f"  {kind:15s} {path}")
 
 
-def _cmd_run_imgclass(args: argparse.Namespace) -> int:
-    dataset = SyntheticClassificationDataset(
-        num_samples=args.images, num_classes=args.num_classes, noise=0.25, seed=args.data_seed
-    )
-    model = build_model(args.model, num_classes=args.num_classes, seed=args.model_seed)
-    fit_classifier_head(model, dataset, args.num_classes)
-
-    resil_model = None
-    if args.protection != "none":
-        calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
-        bounds = collect_activation_bounds(model, [calibration])
-        resil_model = apply_protection(model, bounds, args.protection)
-
-    output = _run_campaign(
-        TestErrorModels_ImgClass, args, model=model, resil_model=resil_model, dataset=dataset
-    )
-
-    rows = [
-        {
-            "variant": "corrupted",
-            "golden top1": output.corrupted.golden_top1_accuracy,
-            "masked": output.corrupted.masked_rate,
-            "SDE": output.corrupted.sde_rate,
-            "DUE": output.corrupted.due_rate,
-        }
-    ]
-    if output.resil is not None:
-        rows.append(
-            {
-                "variant": f"resil ({args.protection})",
-                "golden top1": output.resil.golden_top1_accuracy,
-                "masked": output.resil.masked_rate,
-                "SDE": output.resil.sde_rate,
-                "DUE": output.resil.due_rate,
-            }
-        )
-    print(
-        comparison_table(
-            rows,
-            ["variant", "golden top1", "masked", "SDE", "DUE"],
-            title=f"{args.model}: {args.target} fault injection ({args.num_faults} fault(s)/image)",
-        )
-    )
-    _print_result_files(output.output_files)
+def _execute_spec(spec: ExperimentSpec, save_spec: Path | None = None) -> int:
+    try:
+        spec.validate(registries=True)
+        if save_spec is not None:
+            # Only validated specs are persisted — a saved spec must be
+            # runnable by a later ``pytorchalfi run``.
+            spec.save(save_spec)
+            print(f"experiment spec written to {save_spec}")
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # Campaign-runtime failures propagate with their traceback — they are
+    # bugs or environment problems, not spec mistakes.
+    result = run(spec)
+    plugin = TASKS.get(spec.task)
+    print(plugin.report(result, spec))
+    if result.output_files:
+        _print_result_files(result.output_files)
     return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    import yaml
+
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except (ValueError, KeyError, FileNotFoundError, yaml.YAMLError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.output_dir is not None:
+        spec.output_dir = args.output_dir
+    if args.workers is not None:
+        spec.backend.workers = args.workers
+        if spec.backend.name == "serial" and args.workers > 1:
+            # Built-in backends switch to sharded execution; registered
+            # custom backends keep their name (they own their parallelism).
+            spec.backend.name = "sharded"
+    return _execute_spec(spec)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import yaml
+
+    failures = 0
+    for path in args.specs:
+        try:
+            spec = ExperimentSpec.load(path)
+            spec.validate(registries=True)
+        except (ValueError, KeyError, FileNotFoundError, yaml.YAMLError) as error:
+            failures += 1
+            print(f"FAIL  {path}: {error}")
+        else:
+            print(f"ok    {path}  ({spec.task}: {spec.model.name} on {spec.dataset.name})")
+    return 1 if failures else 0
+
+
+def _cmd_run_imgclass(args: argparse.Namespace) -> int:
+    dataset = ComponentSpec(
+        "synthetic-classification",
+        {
+            "num_samples": args.images,
+            "num_classes": args.num_classes,
+            "noise": 0.25,
+            "seed": args.data_seed,
+        },
+    )
+    return _run_built_spec(args, "classification", dataset)
 
 
 def _cmd_run_objdet(args: argparse.Namespace) -> int:
-    dataset = CocoLikeDetectionDataset(
-        num_samples=args.images, num_classes=args.num_classes, seed=args.data_seed
+    dataset = ComponentSpec(
+        "synthetic-coco",
+        {"num_samples": args.images, "num_classes": args.num_classes, "seed": args.data_seed},
     )
-    model = build_detector(args.model, num_classes=args.num_classes, seed=args.model_seed).eval()
-    output = _run_campaign(
-        TestErrorModels_ObjDet, args, model=model, dataset=dataset, input_shape=(3, 64, 64)
-    )
-    ivmod = output.corrupted.ivmod
-    print(
-        bar_chart(
-            {"IVMOD_SDE": ivmod.sde_rate, "IVMOD_DUE": ivmod.due_rate},
-            title=f"{args.model}: {args.target} fault injection over {args.images} images",
-            max_value=max(ivmod.sde_rate, 0.1),
-        )
-    )
-    print(f"\ngolden mAP@0.5:    {output.corrupted.golden_map['mAP']:.4f}")
-    print(f"corrupted mAP@0.5: {output.corrupted.corrupted_map['mAP']:.4f}")
-    _print_result_files(output.output_files)
-    return 0
+    return _run_built_spec(args, "detection", dataset)
+
+
+def _run_built_spec(args: argparse.Namespace, task: str, dataset: ComponentSpec) -> int:
+    try:
+        spec = _spec_from_args(args, task, dataset)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return _execute_spec(spec, args.save_spec)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -239,17 +277,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run_cmd = subparsers.add_parser("run", help="run an experiment spec file")
+    run_cmd.add_argument("spec", type=Path, help="experiment spec (YAML or JSON)")
+    run_cmd.add_argument(
+        "--output-dir", type=Path, default=None, help="override the spec's output directory"
+    )
+    run_cmd.add_argument(
+        "--workers", type=int, default=None, help="override the spec's backend workers"
+    )
+    run_cmd.set_defaults(handler=_cmd_run_spec)
+
+    validate = subparsers.add_parser("validate", help="validate experiment spec files")
+    validate.add_argument("specs", type=Path, nargs="+", help="spec files to check")
+    validate.set_defaults(handler=_cmd_validate)
+
     imgclass = subparsers.add_parser("run-imgclass", help="run a classification campaign")
-    imgclass.add_argument("--model", choices=sorted(MODEL_REGISTRY), default="lenet5")
+    imgclass.add_argument(
+        "--model", choices=MODELS.names(kind="classifier"), default="lenet5"
+    )
     imgclass.add_argument("--num-classes", type=int, default=10)
-    imgclass.add_argument("--protection", choices=("none", "ranger", "clipper"), default="none")
+    imgclass.add_argument(
+        "--protection", choices=["none", *PROTECTIONS.names()], default="none"
+    )
     imgclass.add_argument("--model-seed", type=int, default=0)
     imgclass.add_argument("--data-seed", type=int, default=0)
     _add_common_campaign_arguments(imgclass)
     imgclass.set_defaults(handler=_cmd_run_imgclass)
 
     objdet = subparsers.add_parser("run-objdet", help="run an object-detection campaign")
-    objdet.add_argument("--model", choices=sorted(DETECTOR_REGISTRY), default="yolov3")
+    objdet.add_argument("--model", choices=MODELS.names(kind="detector"), default="yolov3")
     objdet.add_argument("--num-classes", type=int, default=5)
     objdet.add_argument("--model-seed", type=int, default=0)
     objdet.add_argument("--data-seed", type=int, default=0)

@@ -1,0 +1,100 @@
+"""The unified declarative Experiment API — one spec, one entry point.
+
+A fault-injection campaign is a handful of orthogonal choices: model,
+dataset, error model, protection policy, task, execution backend, caching.
+This package turns each choice into a *registry* entry and the whole
+campaign into one versioned, serializable :class:`ExperimentSpec`:
+
+* :class:`ExperimentSpec` — declarative description, YAML/JSON round-trip
+  with ``schema_version`` + unknown-key validation (:mod:`.spec`).
+* :class:`Experiment` / :meth:`Experiment.builder` — fluent programmatic
+  construction (:mod:`.builder`).
+* :func:`run` — the single entry point: ``run(spec) -> CampaignResult``
+  (:mod:`.runner`); pre-built objects can be supplied via
+  :class:`Artifacts`.
+* :class:`CampaignResult` — structured result handle: summary, output-file
+  map, lazy record iterators, shard ``merge()`` (:mod:`.result`).
+* ``register_model`` / ``register_dataset`` / ``register_error_model`` /
+  ``register_protection`` / ``register_task`` / ``register_backend`` —
+  central registries (:mod:`.registry`); new workloads are registrations,
+  not new facades.
+
+The historic facades (``TestErrorModels_ImgClass``,
+``TestErrorModels_ObjDet``, ``CampaignRunner``) remain as deprecated shims
+that build a spec and delegate here.
+"""
+
+from repro.experiments.builder import Experiment, ExperimentBuilder
+from repro.experiments.registry import (
+    BACKENDS,
+    DATASETS,
+    ERROR_MODELS,
+    MODELS,
+    PROTECTIONS,
+    TASKS,
+    DuplicateComponentError,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
+    register_backend,
+    register_dataset,
+    register_error_model,
+    register_model,
+    register_protection,
+    register_task,
+    unregister_error_model,
+)
+from repro.experiments.result import CampaignResult
+from repro.experiments.runner import Artifacts, run
+from repro.experiments.spec import (
+    SPEC_SCHEMA_VERSION,
+    BackendSpec,
+    CachingSpec,
+    ComponentSpec,
+    ExperimentSpec,
+    SpecError,
+    load_spec,
+)
+from repro.experiments.tasks import (
+    ClassificationExperimentTask,
+    DetectionExperimentTask,
+    ExperimentTask,
+)
+
+# Populate the registries with the built-in components.
+from repro.experiments import builtins as _builtins  # noqa: F401  (side effect)
+
+__all__ = [
+    "Artifacts",
+    "BACKENDS",
+    "BackendSpec",
+    "CachingSpec",
+    "CampaignResult",
+    "ClassificationExperimentTask",
+    "ComponentSpec",
+    "DATASETS",
+    "DetectionExperimentTask",
+    "DuplicateComponentError",
+    "ERROR_MODELS",
+    "Experiment",
+    "ExperimentBuilder",
+    "ExperimentSpec",
+    "ExperimentTask",
+    "MODELS",
+    "PROTECTIONS",
+    "Registry",
+    "RegistryError",
+    "SPEC_SCHEMA_VERSION",
+    "SpecError",
+    "TASKS",
+    "UnknownComponentError",
+    "load_spec",
+    "register_backend",
+    "register_dataset",
+    "register_error_model",
+    "register_model",
+    "register_protection",
+    "register_task",
+    "run",
+    "unregister_error_model",
+]

@@ -1,0 +1,147 @@
+"""Default registry contents of the Experiment API.
+
+Importing this module (done by ``repro.experiments``) absorbs the historic
+ad-hoc lookups — ``repro.models.MODEL_REGISTRY`` and
+``repro.models.detection.DETECTOR_REGISTRY`` — into the central ``MODELS``
+registry, and registers the built-in datasets, error models, protection
+policies, workload tasks and execution backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alficore.campaign import ShardedCampaignExecutor
+from repro.alficore.wrapper import _error_model_from_scenario
+from repro.experiments.registry import (
+    BACKENDS,
+    DATASETS,
+    ERROR_MODELS,
+    MODELS,
+    PROTECTIONS,
+    TASKS,
+)
+from repro.experiments.spec import BackendSpec
+from repro.experiments.tasks import ClassificationExperimentTask, DetectionExperimentTask
+
+
+# --------------------------------------------------------------------------- #
+# models — absorb the legacy per-family registries
+# --------------------------------------------------------------------------- #
+def _register_models() -> None:
+    from repro.models import MODEL_REGISTRY
+    from repro.models.detection import DETECTOR_REGISTRY
+
+    for name, factory in MODEL_REGISTRY.items():
+        if name not in MODELS:
+            MODELS.register(name, factory, kind="classifier")
+    for name, factory in DETECTOR_REGISTRY.items():
+        if name not in MODELS:
+            MODELS.register(name, factory, kind="detector")
+
+
+# --------------------------------------------------------------------------- #
+# datasets
+# --------------------------------------------------------------------------- #
+def _register_datasets() -> None:
+    from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+
+    if "synthetic-classification" not in DATASETS:
+        DATASETS.register(
+            "synthetic-classification", SyntheticClassificationDataset, task="classification"
+        )
+    if "synthetic-coco" not in DATASETS:
+        DATASETS.register("synthetic-coco", CocoLikeDetectionDataset, task="detection")
+
+
+# --------------------------------------------------------------------------- #
+# error models — one factory per ``rnd_value_type``
+# --------------------------------------------------------------------------- #
+def _register_error_models() -> None:
+    from repro.experiments.registry import register_error_model
+
+    for value_type in ("bitflip", "number", "stuck_at"):
+        if value_type not in ERROR_MODELS:
+            # All built-in value types share the canonical scenario-driven
+            # derivation (including the permanent-fault stuck-at rule), so a
+            # registry-resolved error model is identical to the one the
+            # wrapper would derive itself.  Registered through the same
+            # funnel plug-ins use, so the registry and the scenario's legal
+            # value types have one source of truth.
+            register_error_model(value_type, _error_model_from_scenario)
+
+
+# --------------------------------------------------------------------------- #
+# protections
+# --------------------------------------------------------------------------- #
+def _make_protection_factory(protection_name: str):
+    def factory(model, dataset, **params):
+        from repro.alficore.protection import apply_protection, collect_activation_bounds
+
+        calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
+        bounds = collect_activation_bounds(model, [calibration])
+        return apply_protection(model, bounds, protection_name, **params)
+
+    factory.__name__ = f"{protection_name}_protection"
+    return factory
+
+
+def _register_protections() -> None:
+    for name in ("ranger", "clipper"):
+        if name not in PROTECTIONS:
+            PROTECTIONS.register(name, _make_protection_factory(name))
+
+
+# --------------------------------------------------------------------------- #
+# tasks
+# --------------------------------------------------------------------------- #
+def _register_tasks() -> None:
+    if "classification" not in TASKS:
+        TASKS.register("classification", ClassificationExperimentTask())
+    if "detection" not in TASKS:
+        TASKS.register("detection", DetectionExperimentTask())
+
+
+# --------------------------------------------------------------------------- #
+# backends
+# --------------------------------------------------------------------------- #
+def serial_backend(core, backend: BackendSpec):
+    """In-process execution; supports ``step_range`` campaign slices."""
+    if backend.workers != 1:
+        raise ValueError("the serial backend runs with workers=1; use backend 'sharded'")
+    if backend.step_range is not None:
+        start, stop = backend.step_range
+        stream_paths = core.run(start, stop)
+        return core.task.state, stream_paths
+    stream_paths = core.run()
+    return core.task.state, stream_paths
+
+
+def sharded_backend(core, backend: BackendSpec):
+    """Contiguous-shard execution through :class:`ShardedCampaignExecutor`."""
+    if backend.step_range is not None:
+        raise ValueError("backend 'sharded' does not support step_range; use 'serial' slices")
+    executor = ShardedCampaignExecutor(
+        core, workers=backend.workers, num_shards=backend.num_shards
+    )
+    return executor.run()
+
+
+def _register_backends() -> None:
+    if "serial" not in BACKENDS:
+        BACKENDS.register("serial", serial_backend)
+    if "sharded" not in BACKENDS:
+        BACKENDS.register("sharded", sharded_backend)
+
+
+def register_builtins() -> None:
+    """Idempotently register every built-in component."""
+    _register_models()
+    _register_datasets()
+    _register_error_models()
+    _register_protections()
+    _register_tasks()
+    _register_backends()
+
+
+register_builtins()

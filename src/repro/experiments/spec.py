@@ -1,0 +1,431 @@
+"""The declarative experiment specification.
+
+One :class:`ExperimentSpec` describes a complete fault-injection campaign —
+model, dataset, scenario, protection, task, execution backend and caching —
+and round-trips to YAML/JSON with a ``schema_version`` and strict
+unknown-key validation.  It is the single input of
+:func:`repro.experiments.run`.
+
+Schema (YAML)::
+
+    schema_version: 1
+    name: quickstart
+    task: classification            # registry: TASKS
+    model:
+      name: lenet5                  # registry: MODELS
+      params: {num_classes: 10, seed: 0}
+    dataset:
+      name: synthetic-classification  # registry: DATASETS
+      params: {num_samples: 30, num_classes: 10, noise: 0.25, seed: 1}
+    protection: null                # or {name: ranger, params: {...}}
+    scenario:                       # the ScenarioConfig document
+      schema_version: 1
+      injection_target: weights
+      ...
+    backend:
+      name: serial                  # registry: BACKENDS ("serial" | "sharded")
+      workers: 1
+      num_shards: null
+      step_range: null              # optional [start, stop) slice of the campaign
+    caching:
+      golden_cache_mb: 0
+      prefix_reuse: true
+    input_shape: null               # per-sample shape; task default when null
+    dl_shuffle: false
+    output_dir: null                # directory for result files; null = no files
+    task_options: {}                # task-plugin specific knobs
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import yaml
+
+from repro.alficore.scenario import ScenarioConfig, coerce_schema_version, default_scenario
+
+SPEC_SCHEMA_VERSION = 1
+
+
+class SpecError(ValueError):
+    """Raised for malformed experiment specifications."""
+
+
+def _reject_unknown(data: dict, known: set[str], where: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown {where} keys: {unknown}; known keys: {sorted(known)}"
+        )
+
+
+def _int_field(value, where: str) -> int:
+    if isinstance(value, bool):
+        raise SpecError(f"{where} must be an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise SpecError(f"{where} must be an integer, got {value!r}")
+
+
+@dataclass
+class ComponentSpec:
+    """A registry reference: component ``name`` plus factory ``params``."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "params": _plain(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict | str, where: str) -> "ComponentSpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        if not isinstance(data, dict):
+            raise SpecError(f"{where} must be a name or a mapping, got {type(data).__name__}")
+        _reject_unknown(data, {"name", "params"}, where)
+        if data.get("name") is None:
+            raise SpecError(f"{where} requires a 'name'")
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise SpecError(f"{where}.params must be a mapping, got {type(params).__name__}")
+        return cls(name=str(data["name"]), params=dict(params))
+
+
+@dataclass
+class BackendSpec:
+    """Execution backend selection (see ``BACKENDS`` registry)."""
+
+    name: str = "serial"
+    workers: int = 1
+    num_shards: int | None = None
+    step_range: tuple[int, int] | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "num_shards": self.num_shards,
+            "step_range": list(self.step_range) if self.step_range is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | str) -> "BackendSpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        if not isinstance(data, dict):
+            raise SpecError(f"backend must be a name or a mapping, got {type(data).__name__}")
+        _reject_unknown(data, {"name", "workers", "num_shards", "step_range"}, "backend")
+        step_range = data.get("step_range")
+        if step_range is not None:
+            if not isinstance(step_range, (list, tuple)) or len(step_range) != 2:
+                raise SpecError(
+                    f"backend.step_range must be a [start, stop) pair, got {step_range!r}"
+                )
+            step_range = (
+                _int_field(step_range[0], "backend.step_range[0]"),
+                _int_field(step_range[1], "backend.step_range[1]"),
+            )
+        workers = data.get("workers")
+        return cls(
+            name=str(data.get("name") or "serial"),
+            workers=_int_field(workers if workers is not None else 1, "backend.workers"),
+            num_shards=(
+                _int_field(data["num_shards"], "backend.num_shards")
+                if data.get("num_shards") is not None
+                else None
+            ),
+            step_range=step_range,
+        )
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise SpecError(f"backend.workers must be >= 1, got {self.workers}")
+        if self.name == "serial" and self.workers != 1:
+            raise SpecError(
+                f"backend 'serial' runs with workers=1 (got {self.workers}); "
+                "use backend 'sharded' for parallel execution"
+            )
+        if self.num_shards is not None and self.num_shards < 1:
+            raise SpecError(f"backend.num_shards must be >= 1, got {self.num_shards}")
+        if self.name == "serial" and self.num_shards not in (None, 1):
+            raise SpecError(
+                f"backend 'serial' runs unsharded (got num_shards={self.num_shards}); "
+                "use backend 'sharded' for shard partitioning"
+            )
+        if self.name == "sharded" and self.step_range is not None:
+            raise SpecError(
+                "backend 'sharded' does not support step_range; run 'serial' slices "
+                "and combine them with CampaignResult.merge"
+            )
+        if self.step_range is not None:
+            start, stop = self.step_range
+            if start < 0 or stop < start:
+                raise SpecError(f"backend.step_range {self.step_range} is not a valid [start, stop)")
+
+
+@dataclass
+class CachingSpec:
+    """Golden-cache budget and prefix-reuse switch."""
+
+    golden_cache_mb: int = 0
+    prefix_reuse: bool = True
+
+    def as_dict(self) -> dict:
+        return {"golden_cache_mb": self.golden_cache_mb, "prefix_reuse": self.prefix_reuse}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CachingSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"caching must be a mapping, got {type(data).__name__}")
+        _reject_unknown(data, {"golden_cache_mb", "prefix_reuse"}, "caching")
+        prefix_reuse = data.get("prefix_reuse")
+        golden_cache_mb = data.get("golden_cache_mb")
+        return cls(
+            # Explicit nulls (e.g. unset template variables) mean "default",
+            # like everywhere else in the schema.
+            golden_cache_mb=_int_field(
+                golden_cache_mb if golden_cache_mb is not None else 0,
+                "caching.golden_cache_mb",
+            ),
+            prefix_reuse=True if prefix_reuse is None else bool(prefix_reuse),
+        )
+
+    def validate(self) -> None:
+        if self.golden_cache_mb < 0:
+            raise SpecError(f"caching.golden_cache_mb must be >= 0, got {self.golden_cache_mb}")
+
+
+def _plain(value):
+    """Recursively convert to YAML/JSON-serialisable plain python.
+
+    Delegates to the result writer's converter so numpy scalars/arrays and
+    Paths in spec params serialize the same way everywhere.
+    """
+    from repro.alficore.results import _to_plain
+
+    return _to_plain(value)
+
+
+@dataclass
+class ExperimentSpec:
+    """Complete declarative description of one fault-injection experiment."""
+
+    name: str = "experiment"
+    task: str = "classification"
+    model: ComponentSpec = field(default_factory=lambda: ComponentSpec("lenet5"))
+    dataset: ComponentSpec = field(
+        default_factory=lambda: ComponentSpec("synthetic-classification")
+    )
+    scenario: ScenarioConfig = field(default_factory=default_scenario)
+    protection: ComponentSpec | None = None
+    backend: BackendSpec = field(default_factory=BackendSpec)
+    caching: CachingSpec = field(default_factory=CachingSpec)
+    input_shape: tuple[int, ...] | None = None
+    dl_shuffle: bool = False
+    output_dir: Path | None = None
+    task_options: dict = field(default_factory=dict)
+
+    @classmethod
+    def _known_fields(cls) -> set[str]:
+        return {f.name for f in dataclasses.fields(cls)} | {"schema_version"}
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self, registries: bool = False) -> None:
+        """Check structural consistency; with ``registries=True`` also check
+        that every referenced component name is registered (did-you-mean
+        errors for typos)."""
+        if not self.name:
+            raise SpecError("experiment name must not be empty")
+        self.backend.validate()
+        self.caching.validate()
+        self.scenario.validate()
+        if self.input_shape is not None:
+            self.input_shape = tuple(int(v) for v in self.input_shape)
+            if any(v <= 0 for v in self.input_shape):
+                raise SpecError(f"input_shape must be positive, got {self.input_shape}")
+        if registries:
+            from repro.experiments.builtins import register_builtins
+            from repro.experiments.registry import (
+                BACKENDS,
+                DATASETS,
+                ERROR_MODELS,
+                MODELS,
+                PROTECTIONS,
+                TASKS,
+            )
+
+            # Pick up components added to the legacy model registries after
+            # repro.experiments was first imported (idempotent, cheap).
+            register_builtins()
+
+            plugin = TASKS.get(self.task)
+            MODELS.get(self.model.name)
+            model_kind = MODELS.metadata(self.model.name).get("kind")
+            expected_kind = getattr(plugin, "model_kind", None)
+            if model_kind is not None and expected_kind is not None and model_kind != expected_kind:
+                choices = ", ".join(MODELS.names(kind=expected_kind)) or "none registered"
+                raise SpecError(
+                    f"model {self.model.name!r} is registered as a {model_kind!r} but task "
+                    f"{self.task!r} expects a {expected_kind!r} model (choices: {choices})"
+                )
+            DATASETS.get(self.dataset.name)
+            dataset_task = DATASETS.metadata(self.dataset.name).get("task")
+            if dataset_task is not None and dataset_task != self.task:
+                choices = ", ".join(DATASETS.names(task=self.task)) or "none registered"
+                raise SpecError(
+                    f"dataset {self.dataset.name!r} is registered for task "
+                    f"{dataset_task!r} but the spec's task is {self.task!r} "
+                    f"(choices: {choices})"
+                )
+            BACKENDS.get(self.backend.name)
+            ERROR_MODELS.get(self.scenario.rnd_value_type)
+            if self.protection is not None:
+                PROTECTIONS.get(self.protection.name)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        """Plain-python document (the YAML/JSON body)."""
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "task": self.task,
+            "model": self.model.as_dict(),
+            "dataset": self.dataset.as_dict(),
+            "scenario": self.scenario.as_dict(),
+            "protection": self.protection.as_dict() if self.protection is not None else None,
+            "backend": self.backend.as_dict(),
+            "caching": self.caching.as_dict(),
+            "input_shape": list(self.input_shape) if self.input_shape is not None else None,
+            "dl_shuffle": self.dl_shuffle,
+            "output_dir": str(self.output_dir) if self.output_dir is not None else None,
+            "task_options": _plain(self.task_options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Build a spec from a document; unknown keys and newer schema
+        versions are errors."""
+        if not isinstance(data, dict):
+            raise SpecError(f"experiment spec must be a mapping, got {type(data).__name__}")
+        try:
+            coerce_schema_version(data.get("schema_version"), SPEC_SCHEMA_VERSION, "spec")
+        except ValueError as error:
+            raise SpecError(str(error)) from None
+        _reject_unknown(data, cls._known_fields(), "experiment spec")
+        scenario_doc = data.get("scenario") or {}
+        if not isinstance(scenario_doc, dict):
+            raise SpecError(
+                f"scenario must be a mapping, got {type(scenario_doc).__name__}"
+            )
+        try:
+            scenario = ScenarioConfig.from_dict(scenario_doc)
+        except KeyError as error:
+            raise SpecError(f"invalid scenario section: {error.args[0]}") from error
+        protection = data.get("protection")
+        input_shape = data.get("input_shape")
+        if input_shape is not None:
+            if not isinstance(input_shape, (list, tuple)):
+                raise SpecError(
+                    f"input_shape must be a list of dimensions, got {input_shape!r}"
+                )
+            input_shape = tuple(_int_field(v, "input_shape entry") for v in input_shape)
+        output_dir = data.get("output_dir")
+        task_options = data.get("task_options") or {}
+        if not isinstance(task_options, dict):
+            raise SpecError(
+                f"task_options must be a mapping, got {type(task_options).__name__}"
+            )
+        spec = cls(
+            name=str(data.get("name") or "experiment"),
+            task=str(data.get("task") or "classification"),
+            model=ComponentSpec.from_dict(data.get("model", {"name": "lenet5"}), "model"),
+            dataset=ComponentSpec.from_dict(
+                data.get("dataset", {"name": "synthetic-classification"}), "dataset"
+            ),
+            scenario=scenario,
+            protection=(
+                ComponentSpec.from_dict(protection, "protection")
+                if protection is not None
+                else None
+            ),
+            backend=BackendSpec.from_dict(data.get("backend") or {}),
+            caching=CachingSpec.from_dict(data.get("caching") or {}),
+            input_shape=input_shape,
+            dl_shuffle=bool(data.get("dl_shuffle", False)),
+            output_dir=Path(output_dir) if output_dir else None,
+            task_options=dict(task_options),
+        )
+        spec.validate()
+        return spec
+
+    def copy(self, **overrides) -> "ExperimentSpec":
+        """A deep copy with selected (top-level) fields replaced."""
+        clone = dataclasses.replace(
+            self,
+            model=dataclasses.replace(self.model, params=dict(self.model.params)),
+            dataset=dataclasses.replace(self.dataset, params=dict(self.dataset.params)),
+            scenario=self.scenario.copy(),
+            protection=(
+                dataclasses.replace(self.protection, params=dict(self.protection.params))
+                if self.protection is not None
+                else None
+            ),
+            backend=dataclasses.replace(self.backend),
+            caching=dataclasses.replace(self.caching),
+            task_options=dict(self.task_options),
+        )
+        field_names = {f.name for f in dataclasses.fields(self)}
+        for key, value in overrides.items():
+            if key not in field_names:
+                raise SpecError(f"unknown spec field {key!r}")
+            setattr(clone, key, value)
+        clone.validate()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def to_yaml(self) -> str:
+        """The spec as a YAML document string."""
+        return "# repro experiment specification\n" + yaml.safe_dump(
+            self.as_dict(), default_flow_style=False, sort_keys=True
+        )
+
+    def to_json(self) -> str:
+        """The spec as a JSON document string."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec to ``path`` (format chosen by suffix: .json or YAML)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = self.to_json() if path.suffix == ".json" else self.to_yaml()
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a YAML or JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"experiment spec not found: {path}")
+        text = path.read_text(encoding="utf-8")
+        data = json.loads(text) if path.suffix == ".json" else yaml.safe_load(text)
+        if not isinstance(data, dict):
+            raise SpecError(f"spec file {path} does not contain a mapping")
+        return cls.from_dict(data)
+
+
+def load_spec(path: str | Path) -> ExperimentSpec:
+    """Module-level alias of :meth:`ExperimentSpec.load`."""
+    return ExperimentSpec.load(path)

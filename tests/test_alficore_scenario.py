@@ -95,6 +95,76 @@ class TestConversion:
         assert config.num_runs == 4
 
 
+class TestSchemaVersion:
+    def test_as_dict_carries_schema_version(self):
+        from repro.alficore.scenario import SCENARIO_SCHEMA_VERSION
+
+        assert default_scenario().as_dict()["schema_version"] == SCENARIO_SCHEMA_VERSION
+
+    def test_newer_schema_version_rejected(self):
+        from repro.alficore.scenario import SCENARIO_SCHEMA_VERSION
+
+        data = default_scenario().as_dict()
+        data["schema_version"] = SCENARIO_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than the supported"):
+            ScenarioConfig.from_dict(data)
+
+    def test_legacy_document_without_version_loads(self):
+        data = default_scenario().as_dict()
+        data.pop("schema_version")
+        assert ScenarioConfig.from_dict(data) == default_scenario()
+
+    def test_save_load_round_trip_covers_every_field(self, tmp_path: Path):
+        """Every dataclass field survives a yml round-trip (non-default values)."""
+        import dataclasses
+
+        config = ScenarioConfig(
+            dataset_size=17,
+            num_runs=3,
+            max_faults_per_image=2,
+            batch_size=4,
+            injection_target="weights",
+            inj_policy="per_batch",
+            fault_persistence="permanent",
+            rnd_value_type="stuck_at",
+            rnd_bit_range=(3, 9),
+            rnd_value_min=-0.5,
+            rnd_value_max=0.5,
+            quantization="float32",
+            stuck_at_value=0,
+            layer_types=("conv2d", "fcc"),
+            layer_range=(1, 5),
+            weighted_layer_selection=False,
+            model_name="resnet18",
+            dataset_name="synthetic",
+            random_seed=99,
+            fault_file=tmp_path / "faults.npz",
+        )
+        loaded = load_scenario(save_scenario(config, tmp_path / "scenario.yml"))
+        for fld in dataclasses.fields(ScenarioConfig):
+            assert getattr(loaded, fld.name) == getattr(config, fld.name), fld.name
+        # No field silently kept its default: the round-trip test must touch
+        # every field with a non-default value.
+        defaults = default_scenario()
+        same_as_default = [
+            fld.name
+            for fld in dataclasses.fields(ScenarioConfig)
+            if getattr(config, fld.name) == getattr(defaults, fld.name)
+        ]
+        assert same_as_default == ["quantization"], same_as_default
+
+    def test_unknown_keys_error_is_actionable(self):
+        with pytest.raises(KeyError, match="unknown scenario keys.*warp_drive"):
+            ScenarioConfig.from_dict({"dataset_size": 5, "warp_drive": True})
+
+    def test_fault_file_normalized_to_path(self):
+        config = default_scenario(fault_file="some/faults.npz")
+        assert config.fault_file == Path("some/faults.npz")
+        assert default_scenario(fault_file="").fault_file is None
+        assert default_scenario(fault_file=None).fault_file is None
+        assert isinstance(config.as_dict()["fault_file"], str)
+
+
 class TestPersistence:
     def test_save_and_load_round_trip(self, tmp_path: Path):
         config = ScenarioConfig(

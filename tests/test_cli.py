@@ -41,6 +41,149 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "--output-dir", "x"])
 
+    def test_fault_file_is_path_or_none(self):
+        from pathlib import Path
+
+        defaults = build_parser().parse_args(["run-imgclass"])
+        assert defaults.fault_file is None
+        args = build_parser().parse_args(["run-imgclass", "--fault-file", "faults.npz"])
+        assert args.fault_file == Path("faults.npz")
+        assert isinstance(args.fault_file, Path)
+        # An explicit empty value (unset shell variable) means "not given".
+        empty = build_parser().parse_args(["run-imgclass", "--fault-file", ""])
+        assert empty.fault_file is None
+
+    def test_scenario_file_fault_file_survives_without_cli_override(self, tmp_path):
+        from pathlib import Path
+
+        from repro.alficore import default_scenario, save_scenario
+        from repro.cli import _scenario_from_args
+
+        scenario_path = tmp_path / "replay.yml"
+        save_scenario(default_scenario(fault_file="stored_faults.npz"), scenario_path)
+        args = build_parser().parse_args(["run-imgclass", "--scenario", str(scenario_path)])
+        assert _scenario_from_args(args).fault_file == Path("stored_faults.npz")
+        args = build_parser().parse_args(
+            ["run-imgclass", "--scenario", str(scenario_path), "--fault-file", "other.npz"]
+        )
+        assert _scenario_from_args(args).fault_file == Path("other.npz")
+
+
+class TestSpecCommands:
+    def _write_spec(self, tmp_path, **overrides):
+        from repro.experiments import Experiment
+
+        builder = (
+            Experiment.builder()
+            .name("cli-spec")
+            .model("lenet5", num_classes=10, seed=0)
+            .dataset("synthetic-classification", num_samples=6, num_classes=10,
+                     noise=0.25, seed=1)
+            .scenario(injection_target="weights", rnd_bit_range=(23, 30),
+                      random_seed=3, model_name="lenet5", dataset_size=6)
+        )
+        spec = builder.build().copy(**overrides)
+        return spec.save(tmp_path / "spec.yml")
+
+    def test_run_spec_end_to_end(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        exit_code = main(["run", str(path), "--output-dir", str(tmp_path / "out")])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "lenet5" in captured
+        assert "SDE" in captured
+        assert (tmp_path / "out" / "lenet5_corrupted_results.csv").exists()
+
+    def test_run_missing_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.yml")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_serial_spec_with_workers_fails_cleanly(self, tmp_path, capsys):
+        import yaml
+
+        path = self._write_spec(tmp_path)
+        data = yaml.safe_load(path.read_text())
+        data["backend"] = {"name": "serial", "workers": 2}
+        path.write_text(yaml.safe_dump(data))
+        assert main(["validate", str(path)]) == 1
+        assert "serial" in capsys.readouterr().out
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_spec_with_unknown_model_fails_with_suggestion(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        import yaml
+
+        data = yaml.safe_load(path.read_text())
+        data["model"]["name"] = "lenet"
+        path.write_text(yaml.safe_dump(data))
+        assert main(["run", str(path)]) == 1
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_validate_reports_ok_and_failures(self, tmp_path, capsys):
+        good = self._write_spec(tmp_path)
+        bad = tmp_path / "bad.yml"
+        bad.write_text("schema_version: 1\nwarp_drive: true\n")
+        assert main(["validate", str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "warp_drive" in out
+
+    def test_checked_in_example_specs_validate(self, capsys):
+        from pathlib import Path
+
+        specs_dir = Path(__file__).resolve().parents[1] / "examples" / "specs"
+        specs = sorted(str(p) for p in specs_dir.glob("*.yml"))
+        assert specs, "no example spec files checked in"
+        assert main(["validate", *specs]) == 0
+
+    def test_invalid_spec_is_not_persisted_by_save_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "invalid.yml"
+        exit_code = main(
+            [
+                "run-imgclass", "--model", "lenet5", "--images", "4",
+                "--golden-cache", "-1",
+                "--output-dir", str(tmp_path / "out"),
+                "--save-spec", str(spec_path),
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+        assert not spec_path.exists()
+
+    def test_null_schema_version_fails_cleanly(self, tmp_path, capsys):
+        import yaml
+
+        path = self._write_spec(tmp_path)
+        data = yaml.safe_load(path.read_text())
+        data["schema_version"] = None
+        path.write_text(yaml.safe_dump(data))
+        assert main(["validate", str(path)]) == 0  # null means "current"
+        capsys.readouterr()
+        data["schema_version"] = "latest"
+        path.write_text(yaml.safe_dump(data))
+        assert main(["validate", str(path)]) == 1
+        assert "schema_version" in capsys.readouterr().out
+
+    def test_save_spec_round_trips_through_run(self, tmp_path, capsys):
+        spec_path = tmp_path / "saved.yml"
+        exit_code = main(
+            [
+                "run-imgclass", "--model", "lenet5", "--images", "6",
+                "--output-dir", str(tmp_path / "first"),
+                "--save-spec", str(spec_path),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        assert spec_path.exists()
+        exit_code = main(["run", str(spec_path), "--output-dir", str(tmp_path / "second")])
+        assert exit_code == 0
+        first = (tmp_path / "first" / "lenet5_corrupted_results.csv").read_bytes()
+        second = (tmp_path / "second" / "lenet5_corrupted_results.csv").read_bytes()
+        assert first == second
+
 
 class TestImgClassCommand:
     def test_end_to_end_run_and_analyze(self, tmp_path, capsys):

@@ -28,9 +28,20 @@ def run_example(script_name: str, tmp_path, monkeypatch, capsys) -> str:
 class TestExamples:
     def test_quickstart(self, tmp_path, monkeypatch, capsys):
         output = run_example("quickstart.py", tmp_path, monkeypatch, capsys)
-        assert "injectable layers" in output
-        assert "Quickstart campaign" in output
-        assert "applied faults" in output
+        assert "inferences      : 30" in output
+        assert "masked/SDE/DUE" in output
+        assert "first applied fault" in output
+        assert (tmp_path / "quickstart_output" / "quickstart_corrupted_results.csv").exists()
+
+    def test_quickstart_spec_file_matches_builder(self, tmp_path, monkeypatch, capsys):
+        """The checked-in YAML spec is the same experiment as the builder one."""
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec.load(EXAMPLES_DIR / "specs" / "quickstart.yml")
+        assert spec.model.name == "lenet5"
+        assert spec.dataset.params["num_samples"] == 30
+        assert spec.scenario.injection_target == "weights"
+        spec.validate(registries=True)
 
     def test_layer_sweep(self, tmp_path, monkeypatch, capsys):
         output = run_example("layer_sweep.py", tmp_path, monkeypatch, capsys)

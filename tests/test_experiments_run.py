@@ -1,0 +1,428 @@
+"""End-to-end tests of the unified Experiment API.
+
+The acceptance bar of the redesign: a spec serialized to YAML, reloaded and
+re-run produces byte-identical campaign outputs (serial and ``workers>1``
+sharded) to the facades, the facades are deprecation shims over the same
+code path, and :class:`CampaignResult` merges ``step_range`` slices into a
+result identical to an unsliced run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.alficore import TestErrorModels_ImgClass, TestErrorModels_ObjDet
+from repro.alficore._deprecation import reset_warnings
+from repro.alficore.campaign import CampaignRunner
+from repro.alficore.scenario import default_scenario
+from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.experiments import (
+    Artifacts,
+    BackendSpec,
+    CampaignResult,
+    ComponentSpec,
+    Experiment,
+    ExperimentSpec,
+    run,
+)
+from repro.models import build_model
+from repro.models.detection import build_detector
+from repro.models.pretrained import fit_classifier_head
+
+IMAGES = 9
+CLASSES = 10
+
+
+def classification_scenario(**overrides):
+    base = dict(
+        injection_target="weights",
+        rnd_value_type="bitflip",
+        rnd_bit_range=(23, 30),
+        random_seed=1234,
+        model_name="lenet5",
+        dataset_size=IMAGES,
+    )
+    base.update(overrides)
+    return default_scenario(**base)
+
+
+def classification_spec(output_dir, **backend_kwargs) -> ExperimentSpec:
+    builder = (
+        Experiment.builder()
+        .name("lenet5")
+        .model("lenet5", num_classes=CLASSES, seed=0)
+        .dataset("synthetic-classification", num_samples=IMAGES, num_classes=CLASSES,
+                 noise=0.25, seed=1)
+        .scenario(classification_scenario())
+        .output_dir(output_dir)
+    )
+    if backend_kwargs:
+        builder.backend(**backend_kwargs)
+    return builder.build()
+
+
+def build_fitted_classifier(dataset):
+    model = build_model("lenet5", num_classes=CLASSES, seed=0)
+    return fit_classifier_head(model, dataset, CLASSES)
+
+
+def assert_files_identical(first: dict, second: dict, tags=None):
+    tags = tags if tags is not None else sorted(set(first) & set(second))
+    assert tags, "no common output files to compare"
+    for tag in tags:
+        a, b = Path(first[tag]).read_bytes(), Path(second[tag]).read_bytes()
+        assert a == b, f"output file {tag!r} differs"
+
+
+class TestSpecVsFacadeByteIdentity:
+    @pytest.mark.parametrize("backend_kwargs", [
+        {"name": "serial", "workers": 1},
+        {"name": "sharded", "workers": 2, "num_shards": 3},
+    ], ids=["serial", "sharded"])
+    def test_classification(self, tmp_path, backend_kwargs):
+        dataset = SyntheticClassificationDataset(
+            num_samples=IMAGES, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        facade = TestErrorModels_ImgClass(
+            model=build_fitted_classifier(dataset),
+            model_name="lenet5",
+            dataset=dataset,
+            scenario=classification_scenario(),
+            output_dir=tmp_path / "facade",
+            workers=backend_kwargs.get("workers", 1),
+            num_shards=backend_kwargs.get("num_shards"),
+        )
+        facade_out = facade.test_rand_ImgClass_SBFs_inj(num_faults=1)
+
+        spec = classification_spec(tmp_path / "spec", **backend_kwargs)
+        result = run(spec)
+
+        assert_files_identical(facade_out.output_files, result.output_files)
+        assert facade_out.corrupted.as_dict() == result.summary["corrupted"]
+
+    def test_classification_yaml_reload_rerun(self, tmp_path):
+        spec = classification_spec(tmp_path / "direct")
+        direct = run(spec)
+
+        reloaded = ExperimentSpec.load(spec.save(tmp_path / "spec.yml"))
+        reloaded.output_dir = tmp_path / "reloaded"
+        again = run(reloaded)
+
+        assert_files_identical(direct.output_files, again.output_files)
+        assert direct.summary == {**again.summary, "output_files": direct.summary["output_files"]}
+
+    @pytest.mark.parametrize("backend_kwargs", [
+        {"name": "serial", "workers": 1},
+        {"name": "sharded", "workers": 2, "num_shards": 2},
+    ], ids=["serial", "sharded"])
+    def test_detection(self, tmp_path, backend_kwargs):
+        dataset = CocoLikeDetectionDataset(num_samples=6, num_classes=5, seed=9)
+        facade = TestErrorModels_ObjDet(
+            model=build_detector("yolov3", num_classes=5, seed=1).eval(),
+            model_name="yolov3",
+            dataset=dataset,
+            scenario=default_scenario(
+                injection_target="weights", rnd_bit_range=(23, 30), random_seed=77,
+                model_name="yolov3", dataset_size=6,
+            ),
+            output_dir=tmp_path / "facade",
+            workers=backend_kwargs.get("workers", 1),
+            num_shards=backend_kwargs.get("num_shards"),
+        )
+        facade_out = facade.test_rand_ObjDet_SBFs_inj(num_faults=1)
+
+        spec = (
+            Experiment.builder()
+            .name("yolov3")
+            .task("detection")
+            .model("yolov3", num_classes=5, seed=1)
+            .dataset("synthetic-coco", num_samples=6, num_classes=5, seed=9)
+            .scenario(
+                injection_target="weights", rnd_bit_range=(23, 30), random_seed=77,
+                model_name="yolov3", dataset_size=6,
+            )
+            .backend(**backend_kwargs)
+            .output_dir(tmp_path / "spec")
+            .build()
+        )
+        result = run(spec)
+
+        assert_files_identical(facade_out.output_files, result.output_files)
+        assert facade_out.corrupted.as_dict() == result.summary["corrupted"]
+
+    def test_campaign_runner_streams_match_spec_run(self, tmp_path):
+        from repro.alficore.results import CampaignResultWriter
+
+        dataset = SyntheticClassificationDataset(
+            num_samples=IMAGES, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        runner = CampaignRunner(
+            build_fitted_classifier(dataset),
+            dataset,
+            scenario=classification_scenario(),
+            writer=CampaignResultWriter(tmp_path / "runner", campaign_name="lenet5"),
+        )
+        summary = runner.run()
+
+        result = run(classification_spec(tmp_path / "spec"))
+        assert_files_identical(
+            summary.output_files, result.output_files,
+            tags=["golden_csv", "corrupted_csv", "applied_faults", "faults", "meta"],
+        )
+        assert summary.sde_rate == result.summary["corrupted"]["sde_rate"]
+        assert summary.num_inferences == result.summary["corrupted"]["num_inferences"]
+
+
+class TestFacadeFaultFileReplay:
+    def test_scenario_declared_fault_file_survives_default_argument(self, tmp_path):
+        """A fault_file in the facade's base scenario keeps replaying."""
+        from repro.alficore import load_fault_file, ptfiwrap
+
+        dataset = SyntheticClassificationDataset(
+            num_samples=IMAGES, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        model = build_fitted_classifier(dataset)
+        stored = tmp_path / "stored_faults.npz"
+        ptfiwrap(model, scenario=classification_scenario()).save_fault_matrix(stored)
+
+        facade = TestErrorModels_ImgClass(
+            model=model,
+            model_name="lenet5",
+            dataset=dataset,
+            scenario=classification_scenario(random_seed=999, fault_file=stored),
+        )
+        facade.test_rand_ImgClass_SBFs_inj()  # no fault_file argument
+        assert facade.wrapper.get_fault_matrix() == load_fault_file(stored)
+
+
+class TestFacadeEmptyModelName:
+    def test_campaign_runner_accepts_empty_model_name(self, tmp_path):
+        from repro.alficore.results import CampaignResultWriter
+
+        dataset = SyntheticClassificationDataset(num_samples=4, num_classes=CLASSES, seed=1)
+        runner = CampaignRunner(
+            build_fitted_classifier(dataset),
+            dataset,
+            scenario=classification_scenario(model_name=""),
+            writer=CampaignResultWriter(tmp_path, campaign_name=""),
+        )
+        summary = runner.run()  # pre-redesign behavior: runs, files "_*"
+        assert summary.num_inferences == 4
+        assert (tmp_path / "_corrupted_results.csv").exists()
+
+
+class TestFacadeDeprecation:
+    def test_each_shim_warns_exactly_once(self, tmp_path):
+        dataset = SyntheticClassificationDataset(num_samples=4, num_classes=CLASSES, seed=1)
+        model = build_fitted_classifier(dataset)
+        det_dataset = CocoLikeDetectionDataset(num_samples=2, num_classes=5, seed=9)
+        detector = build_detector("yolov3", num_classes=5, seed=1).eval()
+
+        reset_warnings()
+        with pytest.warns(DeprecationWarning, match="TestErrorModels_ImgClass"):
+            TestErrorModels_ImgClass(model=model, dataset=dataset)
+        with pytest.warns(DeprecationWarning, match="TestErrorModels_ObjDet"):
+            TestErrorModels_ObjDet(model=detector, dataset=det_dataset)
+        with pytest.warns(DeprecationWarning, match="CampaignRunner"):
+            CampaignRunner(model, dataset)
+
+        # Second construction is silent: a single warning per facade.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", DeprecationWarning)
+            TestErrorModels_ImgClass(model=model, dataset=dataset)
+            TestErrorModels_ObjDet(model=detector, dataset=det_dataset)
+            CampaignRunner(model, dataset)
+        reset_warnings()
+
+
+class TestCampaignResultHandle:
+    def test_lazy_record_iterators(self, tmp_path):
+        result = run(classification_spec(tmp_path / "records"))
+        golden_rows = list(result.iter_records("golden_csv"))
+        assert len(golden_rows) == IMAGES
+        assert golden_rows[0]["model_tag"] == "golden"
+        applied = list(result.iter_records("applied_faults"))
+        assert len(applied) == IMAGES
+        with pytest.raises(KeyError, match="no output file tagged"):
+            next(result.iter_records("nope"))
+
+    def test_json_iteration_is_incremental_and_matches_json_load(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.experiments.result as result_mod
+
+        spec = (
+            Experiment.builder()
+            .name("yolov3")
+            .task("detection")
+            .model("yolov3", num_classes=5, seed=1)
+            .dataset("synthetic-coco", num_samples=4, num_classes=5, seed=9)
+            .scenario(injection_target="weights", rnd_bit_range=(23, 30), random_seed=77,
+                      model_name="yolov3", dataset_size=4)
+            .output_dir(tmp_path / "det")
+            .build()
+        )
+        result = run(spec)
+        # A tiny chunk size forces every buffer-boundary path in the
+        # incremental parser.
+        monkeypatch.setattr(result_mod, "_JSON_CHUNK", 7)
+        for tag in ("corrupted_json", "applied_faults", "ground_truth"):
+            expected = json.loads(Path(result.output_files[tag]).read_text())
+            assert list(result.iter_records(tag)) == expected
+
+    def test_json_iteration_survives_numbers_on_chunk_boundaries(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.experiments.result as result_mod
+        from repro.experiments.result import _iter_json_array
+
+        records = ["s", 3.5, True, 12345, -1e5, {"x": 2.25}, None, [1.5, "a,b"]]
+        path = tmp_path / "scalars.json"
+        path.write_text(json.dumps(records))
+        # Every chunk size must parse identically — including sizes that cut
+        # a float right after its integer part or exponent marker.
+        for chunk in range(1, 12):
+            monkeypatch.setattr(result_mod, "_JSON_CHUNK", chunk)
+            assert list(_iter_json_array(path)) == records, f"chunk={chunk}"
+
+    def test_json_iteration_handles_empty_and_rejects_non_arrays(self, tmp_path):
+        from repro.experiments.result import _iter_json_array
+
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert list(_iter_json_array(empty)) == []
+        no_records = tmp_path / "no_records.json"
+        no_records.write_text("[]")
+        assert list(_iter_json_array(no_records)) == []
+        mapping = tmp_path / "mapping.json"
+        mapping.write_text('{"a": 1}')
+        with pytest.raises(ValueError, match="not a record array"):
+            list(_iter_json_array(mapping))
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text('[\n{"a": 1},\n{"b": ')
+        with pytest.raises(ValueError, match="truncated|unterminated"):
+            list(_iter_json_array(truncated))
+
+    def test_step_range_slices_merge_to_full_run(self, tmp_path):
+        full = run(classification_spec(tmp_path / "full"))
+
+        halves = []
+        for index, (start, stop) in enumerate(((0, IMAGES // 2), (IMAGES // 2, IMAGES))):
+            spec = classification_spec(tmp_path / f"half{index}")
+            spec.backend = BackendSpec("serial", step_range=(start, stop))
+            halves.append(run(spec))
+
+        merged = CampaignResult.merge(halves, output_dir=tmp_path / "merged")
+        assert merged.summary["corrupted"] == full.summary["corrupted"]
+        assert_files_identical(
+            full.output_files, merged.output_files,
+            tags=["golden_csv", "corrupted_csv", "applied_faults"],
+        )
+
+    def test_merge_into_a_slice_directory_does_not_destroy_inputs(self, tmp_path):
+        full = run(classification_spec(tmp_path / "full"))
+        halves = []
+        for index, (start, stop) in enumerate(((0, IMAGES // 2), (IMAGES // 2, IMAGES))):
+            spec = classification_spec(tmp_path / f"half{index}")
+            spec.backend = BackendSpec("serial", step_range=(start, stop))
+            halves.append(run(spec))
+
+        # Merging into slice 0's own directory must still read both inputs.
+        merged = CampaignResult.merge(halves, output_dir=tmp_path / "half0")
+        assert_files_identical(
+            full.output_files, merged.output_files,
+            tags=["golden_csv", "corrupted_csv", "applied_faults"],
+        )
+
+    def test_merge_rejects_mixed_tasks(self, tmp_path):
+        result = run(classification_spec(tmp_path / "one"))
+        other = CampaignResult(spec=result.spec, task="detection", summary={})
+        with pytest.raises(ValueError, match="different tasks"):
+            CampaignResult.merge([result, other])
+
+
+class TestStreamingEvaluation:
+    def test_streaming_run_reports_kpis_from_counters(self, tmp_path):
+        buffered = run(classification_spec(tmp_path / "buffered"))
+        streaming_spec = classification_spec(tmp_path / "streaming")
+        streaming_spec.task_options["collect_outputs"] = False
+        streaming = run(streaming_spec)
+
+        assert streaming.extras == {}
+        assert not streaming.state.golden_logits  # nothing buffered
+        buffered_kpis = buffered.summary["corrupted"]
+        streaming_kpis = streaming.summary["corrupted"]
+        for key in ("num_inferences", "golden_top1_accuracy", "masked_rate",
+                    "sde_rate", "due_rate", "corrupted_top1_accuracy"):
+            assert streaming_kpis[key] == buffered_kpis[key], key
+
+
+class TestModelKindValidation:
+    def test_detector_in_classification_task_rejected(self):
+        from repro.experiments import SpecError
+
+        spec = classification_spec(None)
+        spec.output_dir = None
+        spec.model = ComponentSpec("yolov3", {"num_classes": 5, "seed": 1})
+        with pytest.raises(SpecError, match="registered as a 'detector'"):
+            spec.validate(registries=True)
+
+    def test_detection_dataset_in_classification_task_rejected(self):
+        from repro.experiments import SpecError
+
+        spec = classification_spec(None)
+        spec.output_dir = None
+        spec.dataset = ComponentSpec("synthetic-coco", {"num_samples": 4, "num_classes": 5})
+        with pytest.raises(SpecError, match="registered for task 'detection'"):
+            spec.validate(registries=True)
+
+
+class TestResultNaming:
+    def test_default_scenario_model_name_falls_back_to_spec_model(self, tmp_path):
+        spec = classification_spec(tmp_path / "named")
+        spec.scenario = spec.scenario.copy(model_name="model")  # the default sentinel
+        result = run(spec)
+        assert result.context["model_name"] == "lenet5"
+        assert (tmp_path / "named" / "lenet5_corrupted_results.csv").exists()
+
+
+class TestArtifactsOverride:
+    def test_prebuilt_model_and_dataset_are_used(self, tmp_path):
+        dataset = SyntheticClassificationDataset(
+            num_samples=IMAGES, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        model = build_fitted_classifier(dataset)
+        spec = classification_spec(tmp_path / "artifacts")
+        result = run(spec, artifacts=Artifacts(model=model, dataset=dataset))
+        assert result.core.model is model
+        assert result.core.dataset is dataset
+
+    def test_prebuilt_core_honors_spec_output_dir(self, tmp_path):
+        from repro.alficore.campaign import CampaignCore, ClassificationTask
+
+        dataset = SyntheticClassificationDataset(
+            num_samples=4, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        core = CampaignCore(
+            build_fitted_classifier(dataset),
+            dataset,
+            ClassificationTask(collect_outputs=True),
+            scenario=classification_scenario(),
+        )
+        spec = classification_spec(tmp_path / "core_out")
+        result = run(spec, artifacts=Artifacts(core=core))
+        assert "corrupted_csv" in result.output_files
+        assert (tmp_path / "core_out" / "lenet5_corrupted_results.csv").exists()
+
+    def test_registry_resolution_matches_prebuilt(self, tmp_path):
+        dataset = SyntheticClassificationDataset(
+            num_samples=IMAGES, num_classes=CLASSES, noise=0.25, seed=1
+        )
+        model = build_fitted_classifier(dataset)
+        via_artifacts = run(
+            classification_spec(tmp_path / "a"), artifacts=Artifacts(model=model, dataset=dataset)
+        )
+        via_registry = run(classification_spec(tmp_path / "b"))
+        assert_files_identical(via_artifacts.output_files, via_registry.output_files)
