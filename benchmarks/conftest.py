@@ -20,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.data import CocoLikeDetectionDataset, SyntheticClassificationDataset
+from repro.experiments.runner import Artifacts, facade_run_scenario, facade_spec, run
 from repro.models import alexnet, resnet50, vgg16
 from repro.models.pretrained import fit_classifier_head
 
@@ -34,6 +35,66 @@ CLASSIFICATION_IMAGES = 40
 DETECTION_IMAGES = 15
 NUM_CLASSES = 10
 DET_CLASSES = 5
+
+
+def run_campaign(
+    task: str,
+    model,
+    dataset,
+    scenario,
+    *,
+    resil_model=None,
+    model_name: str | None = None,
+    num_faults: int | None = None,
+    inj_policy: str | None = None,
+    num_runs: int | None = None,
+    input_shape: tuple[int, ...] = (3, 32, 32),
+    num_classes: int | None = None,
+    output_dir=None,
+    workers: int = 1,
+    num_shards: int | None = None,
+    prefix_reuse: bool = True,
+    golden_cache=None,
+):
+    """Run one campaign on pre-built objects through the Experiment API.
+
+    The spec is assembled exactly the way the historic facades did
+    (``facade_spec`` + ``facade_run_scenario`` + in-memory ``Artifacts``), so
+    campaigns benchmarked here produce the same records and KPIs those
+    facade-based runs did — without going through the deprecated shims.
+    ``num_faults``/``inj_policy``/``num_runs`` override the scenario when
+    given; ``None`` keeps the scenario's own values.
+    """
+    model_name = model_name if model_name is not None else scenario.model_name
+    model = model.eval()
+    resil_model = resil_model.eval() if resil_model is not None else None
+    scenario = facade_run_scenario(
+        scenario,
+        num_faults=num_faults if num_faults is not None else scenario.max_faults_per_image,
+        inj_policy=inj_policy if inj_policy is not None else scenario.inj_policy,
+        num_runs=num_runs if num_runs is not None else scenario.num_runs,
+        model_name=model_name,
+    )
+    spec = facade_spec(
+        name=model_name,
+        task=task,
+        scenario=scenario,
+        workers=workers,
+        num_shards=num_shards,
+        prefix_reuse=prefix_reuse,
+        input_shape=input_shape,
+        output_dir=output_dir,
+    )
+    return run(
+        spec,
+        artifacts=Artifacts(
+            model=model,
+            resil_model=resil_model,
+            dataset=dataset,
+            golden_cache=golden_cache,
+            num_classes=num_classes,
+        ),
+    )
 
 
 def report(experiment_id: str, text: str) -> None:

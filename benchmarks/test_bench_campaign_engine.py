@@ -10,7 +10,8 @@ tracks that replacement the same way the other ``scale_*`` results do:
 * faulty-model throughput of the clone-per-group path vs the patch-session
   path over identical fault groups (VGG-16, weight faults);
 * end-to-end streaming campaign throughput (golden + faulty inference,
-  monitoring, outcome classification, CSV streaming) via ``CampaignRunner``.
+  monitoring, outcome classification, CSV streaming) via the Experiment API
+  entry point (``repro.experiments.run`` on in-memory artifacts).
 
 The bit-exact restore guarantee is asserted here as well: after the timed
 session sweep every weight of the model must have the identical bit pattern
@@ -23,14 +24,8 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_QUICK, record_benchmark, report
-from repro.alficore import (
-    CampaignResultWriter,
-    CampaignRunner,
-    GoldenCache,
-    default_scenario,
-    ptfiwrap,
-)
+from benchmarks.conftest import BENCH_QUICK, record_benchmark, report, run_campaign
+from repro.alficore import GoldenCache, default_scenario, ptfiwrap
 from repro.data import SyntheticClassificationDataset
 from repro.models import lenet5, vgg16
 from repro.models.pretrained import fit_classifier_head
@@ -109,11 +104,13 @@ def test_streaming_campaign_end_to_end(benchmark, tmp_path):
         injection_target="weights", rnd_bit_range=(23, 30), random_seed=14, model_name="engine"
     )
 
-    def run_campaign():
-        writer = CampaignResultWriter(tmp_path, campaign_name="engine")
-        return CampaignRunner(model, dataset, scenario=scenario, writer=writer).run()
+    def run_engine_campaign():
+        result = run_campaign(
+            "classification", model, dataset, scenario, output_dir=tmp_path
+        )
+        return result.results["corrupted"]
 
-    summary = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    summary = benchmark.pedantic(run_engine_campaign, rounds=1, iterations=1)
     elapsed = benchmark.stats.stats.mean
     assert summary.num_inferences == len(dataset)
     assert summary.masked_rate + summary.sde_rate + summary.due_rate == pytest.approx(1.0)
@@ -161,14 +158,13 @@ def test_prefix_reuse_vs_full_forward(benchmark, vgg_model, tmp_path):
     ).fault_injection.num_layers
 
     def run(sub: str, reuse: bool, scenario) -> tuple[float, object]:
-        writer = CampaignResultWriter(tmp_path / sub, campaign_name="prefix")
-        runner = CampaignRunner(
-            vgg_model, dataset, scenario=scenario, writer=writer,
-            prefix_reuse=reuse, golden_cache=GoldenCache() if reuse else None,
-        )
         start = time.perf_counter()
-        summary = runner.run()
-        return time.perf_counter() - start, summary
+        result = run_campaign(
+            "classification", vgg_model, dataset, scenario,
+            output_dir=tmp_path / sub, prefix_reuse=reuse,
+            golden_cache=GoldenCache() if reuse else None,
+        )
+        return time.perf_counter() - start, result
 
     def measure(tag: str, scenario) -> tuple[float, float, object, object]:
         baseline_seconds, baseline = run(f"{tag}_baseline", False, scenario)
@@ -178,7 +174,7 @@ def test_prefix_reuse_vs_full_forward(benchmark, vgg_model, tmp_path):
                 open(baseline.output_files[stream], "rb").read()
                 == open(reused.output_files[stream], "rb").read()
             ), f"{tag}: {stream} differs between full-forward and prefix-reuse run"
-        baseline_kpis, reused_kpis = baseline.as_dict(), reused.as_dict()
+        baseline_kpis, reused_kpis = dict(baseline.summary), dict(reused.summary)
         baseline_kpis.pop("output_files")
         reused_kpis.pop("output_files")
         assert baseline_kpis == reused_kpis
@@ -198,9 +194,11 @@ def test_prefix_reuse_vs_full_forward(benchmark, vgg_model, tmp_path):
         mixed = measure("mixed", mixed_scenario)
         return late, mixed
 
-    (late_base, late_fast, _, late_summary), (mixed_base, mixed_fast, _, mixed_summary) = (
+    (late_base, late_fast, _, late_result), (mixed_base, mixed_fast, _, mixed_result) = (
         benchmark.pedantic(timed_runs, rounds=1, iterations=1)
     )
+    late_inferences = late_result.results["corrupted"].num_inferences
+    mixed_inferences = mixed_result.results["corrupted"].num_inferences
 
     def best_speedup(tag: str, scenario, base: float, fast: float, threshold: float):
         # Shield the CI gate against transient load on shared runners: one
@@ -225,13 +223,13 @@ def test_prefix_reuse_vs_full_forward(benchmark, vgg_model, tmp_path):
     record_benchmark(
         "scale_prefix_reuse_late_layer",
         wall_time=late_fast,
-        throughput=late_summary.num_inferences / late_fast,
+        throughput=late_inferences / late_fast,
         speedup_vs_reference=late_speedup,
     )
     record_benchmark(
         "scale_prefix_reuse_mixed_layer",
         wall_time=mixed_fast,
-        throughput=mixed_summary.num_inferences / mixed_fast,
+        throughput=mixed_inferences / mixed_fast,
         speedup_vs_reference=mixed_speedup,
     )
     report(
@@ -241,23 +239,23 @@ def test_prefix_reuse_vs_full_forward(benchmark, vgg_model, tmp_path):
                 {
                     "scenario": "late-layer: full forward (baseline)",
                     "seconds": late_base,
-                    "inferences/s": late_summary.num_inferences / late_base,
+                    "inferences/s": late_inferences / late_base,
                 },
                 {
                     "scenario": "late-layer: prefix reuse + golden cache",
                     "seconds": late_fast,
-                    "inferences/s": late_summary.num_inferences / late_fast,
+                    "inferences/s": late_inferences / late_fast,
                 },
                 {"scenario": "late-layer speedup", "seconds": late_speedup, "inferences/s": float("nan")},
                 {
                     "scenario": "mixed-layer: full forward (baseline)",
                     "seconds": mixed_base,
-                    "inferences/s": mixed_summary.num_inferences / mixed_base,
+                    "inferences/s": mixed_inferences / mixed_base,
                 },
                 {
                     "scenario": "mixed-layer: prefix reuse + golden cache",
                     "seconds": mixed_fast,
-                    "inferences/s": mixed_summary.num_inferences / mixed_fast,
+                    "inferences/s": mixed_inferences / mixed_fast,
                 },
                 {"scenario": "mixed-layer speedup", "seconds": mixed_speedup, "inferences/s": float("nan")},
             ],
@@ -287,14 +285,12 @@ def test_sharded_vs_serial_scaling(benchmark, vgg_model, tmp_path):
     )
 
     def run(sub: str, n_workers: int, n_shards: int | None = None) -> tuple[float, object]:
-        writer = CampaignResultWriter(tmp_path / sub, campaign_name="shardbench")
-        runner = CampaignRunner(
-            vgg_model, dataset, scenario=scenario, writer=writer,
-            workers=n_workers, num_shards=n_shards,
-        )
         start = time.perf_counter()
-        summary = runner.run()
-        return time.perf_counter() - start, summary
+        result = run_campaign(
+            "classification", vgg_model, dataset, scenario,
+            output_dir=tmp_path / sub, workers=n_workers, num_shards=n_shards,
+        )
+        return time.perf_counter() - start, result
 
     def sharded_run():
         # On a single-core machine the pool cannot win; still exercise the
@@ -309,7 +305,7 @@ def test_sharded_vs_serial_scaling(benchmark, vgg_model, tmp_path):
         serial_bytes = open(serial.output_files[tag], "rb").read()
         sharded_bytes = open(sharded.output_files[tag], "rb").read()
         assert serial_bytes == sharded_bytes, f"{tag} differs between serial and sharded run"
-    serial_kpis, sharded_kpis = serial.as_dict(), sharded.as_dict()
+    serial_kpis, sharded_kpis = dict(serial.summary), dict(sharded.summary)
     serial_kpis.pop("output_files")
     sharded_kpis.pop("output_files")
     assert serial_kpis == sharded_kpis
@@ -332,12 +328,12 @@ def test_sharded_vs_serial_scaling(benchmark, vgg_model, tmp_path):
                 {
                     "strategy": "serial (1 process)",
                     "seconds": serial_seconds,
-                    "inferences/s": serial.num_inferences / serial_seconds,
+                    "inferences/s": serial.results["corrupted"].num_inferences / serial_seconds,
                 },
                 {
                     "strategy": f"sharded ({workers} workers)",
                     "seconds": sharded_seconds,
-                    "inferences/s": sharded.num_inferences / sharded_seconds,
+                    "inferences/s": sharded.results["corrupted"].num_inferences / sharded_seconds,
                 },
                 {"strategy": "speedup", "seconds": speedup, "inferences/s": float("nan")},
             ],

@@ -15,17 +15,10 @@ by the exponent MSB, and a large reduction under protection.
 
 import numpy as np
 
-from benchmarks.conftest import CLASSIFICATION_IMAGES, NUM_CLASSES, report
-from repro.alficore import (
-    TestErrorModels_ImgClass,
-    apply_protection,
-    collect_activation_bounds,
-    default_scenario,
-)
+from benchmarks.conftest import CLASSIFICATION_IMAGES, NUM_CLASSES, report, run_campaign
+from repro.alficore import apply_protection, collect_activation_bounds, default_scenario
 from repro.tensor import exponent_bit_range
 from repro.visualization import bar_chart, comparison_table
-
-TestErrorModels_ImgClass.__test__ = False
 
 
 def _run_fig2a(models: dict, dataset) -> list[dict]:
@@ -45,23 +38,21 @@ def _run_fig2a(models: dict, dataset) -> list[dict]:
             random_seed=101,
             model_name=model_name,
         )
-        runner = TestErrorModels_ImgClass(
-            model=model,
-            resil_model=hardened,
-            model_name=model_name,
-            dataset=dataset,
-            scenario=scenario,
+        result = run_campaign(
+            "classification", model, dataset, scenario,
+            resil_model=hardened, model_name=model_name,
+            num_faults=1, inj_policy="per_image", num_runs=1,
         )
-        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_image")
+        corrupted, resil = result.results["corrupted"], result.results["resil"]
         rows.append(
             {
                 "model": model_name,
-                "golden top1": output.corrupted.golden_top1_accuracy,
-                "SDE (no protection)": output.corrupted.sde_rate,
-                "DUE (no protection)": output.corrupted.due_rate,
-                "SDE (Ranger)": output.resil.sde_rate,
-                "DUE (Ranger)": output.resil.due_rate,
-                "inferences": output.corrupted.num_inferences,
+                "golden top1": corrupted.golden_top1_accuracy,
+                "SDE (no protection)": corrupted.sde_rate,
+                "DUE (no protection)": corrupted.due_rate,
+                "SDE (Ranger)": resil.sde_rate,
+                "DUE (Ranger)": resil.due_rate,
+                "inferences": corrupted.num_inferences,
             }
         )
     return rows

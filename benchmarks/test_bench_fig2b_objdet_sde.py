@@ -9,14 +9,12 @@ The reproduction runs the same campaign against the three detector families
 of the zoo over the synthetic CoCo-format dataset.
 """
 
-from benchmarks.conftest import DETECTION_IMAGES, DET_CLASSES, report
-from repro.alficore import TestErrorModels_ObjDet, default_scenario
+from benchmarks.conftest import DETECTION_IMAGES, DET_CLASSES, report, run_campaign
+from repro.alficore import default_scenario
 from repro.data import KittiLikeDetectionDataset
 from repro.models.detection import faster_rcnn_lite, retinanet_lite, yolov3_tiny
 from repro.tensor import exponent_bit_range
 from repro.visualization import bar_chart, comparison_table
-
-TestErrorModels_ObjDet.__test__ = False
 
 DETECTORS = {
     "yolov3": yolov3_tiny,
@@ -44,23 +42,22 @@ def _run_fig2b(detection_dataset) -> list[dict]:
                 model_name=detector_name,
                 dataset_name=dataset_name,
             )
-            runner = TestErrorModels_ObjDet(
-                model=model,
+            result = run_campaign(
+                "detection", model, dataset, scenario,
                 model_name=f"{detector_name}_{dataset_name}",
-                dataset=dataset,
-                scenario=scenario,
-                input_shape=input_shape,
+                num_faults=1, inj_policy="per_image", num_runs=1,
+                input_shape=input_shape, num_classes=num_classes,
             )
-            output = runner.test_rand_ObjDet_SBFs_inj(num_faults=1, inj_policy="per_image")
-            ivmod = output.corrupted.ivmod
+            corrupted = result.results["corrupted"]
+            ivmod = corrupted.ivmod
             rows.append(
                 {
                     "detector": detector_name,
                     "dataset": dataset_name,
                     "IVMOD_SDE": ivmod.sde_rate,
                     "IVMOD_DUE": ivmod.due_rate,
-                    "golden mAP@0.5": output.corrupted.golden_map["mAP"],
-                    "corrupted mAP@0.5": output.corrupted.corrupted_map["mAP"],
+                    "golden mAP@0.5": corrupted.golden_map["mAP"],
+                    "corrupted mAP@0.5": corrupted.corrupted_map["mAP"],
                     "images": ivmod.total_images,
                 }
             )

@@ -9,19 +9,12 @@ to this test goal.
 
 import numpy as np
 
-from benchmarks.conftest import report
-from repro.alficore import (
-    TestErrorModels_ImgClass,
-    apply_protection,
-    collect_activation_bounds,
-    default_scenario,
-)
+from benchmarks.conftest import report, run_campaign
+from repro.alficore import apply_protection, collect_activation_bounds, default_scenario
 from repro.data import SyntheticClassificationDataset
 from repro.models import lenet5
 from repro.models.pretrained import fit_classifier_head
 from repro.visualization import comparison_table
-
-TestErrorModels_ImgClass.__test__ = False
 
 IMAGES = 30
 
@@ -40,21 +33,19 @@ def _run_neuron_vs_weight() -> list[dict]:
             rnd_bit_range=(23, 30),
             random_seed=88,
         )
-        runner = TestErrorModels_ImgClass(
-            model=model,
-            resil_model=hardened,
-            model_name=f"lenet_{target}",
-            dataset=dataset,
-            scenario=scenario,
+        result = run_campaign(
+            "classification", model, dataset, scenario,
+            resil_model=hardened, model_name=f"lenet_{target}",
+            num_faults=1, inj_policy="per_image", num_runs=1,
         )
-        output = runner.test_rand_ImgClass_SBFs_inj(num_faults=1, inj_policy="per_image")
+        corrupted, resil = result.results["corrupted"], result.results["resil"]
         rows.append(
             {
                 "target": target,
-                "SDE (no protection)": output.corrupted.sde_rate,
-                "DUE (no protection)": output.corrupted.due_rate,
-                "SDE (Ranger)": output.resil.sde_rate,
-                "inferences": output.corrupted.num_inferences,
+                "SDE (no protection)": corrupted.sde_rate,
+                "DUE (no protection)": corrupted.due_rate,
+                "SDE (Ranger)": resil.sde_rate,
+                "inferences": corrupted.num_inferences,
             }
         )
     return rows

@@ -14,7 +14,6 @@ mechanisms that provide that efficiency on this reproduction:
   magnitude cheaper than regenerating and guarantees identical faults.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import report

@@ -7,7 +7,6 @@ times fault matrix generation, which the paper highlights as the step that
 makes large-scale campaigns cheap (all faults are pre-generated once).
 """
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.alficore import FaultMatrixGenerator, NEURON_ROWS, default_scenario

@@ -45,17 +45,17 @@ from repro.alficore.campaign import (
     DetectionTask,
     ShardedCampaignExecutor,
 )
-from repro.alficore.goldencache import GoldenCache, GoldenCacheEntry
-from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario, save_scenario
-from repro.alficore.layerweights import layer_weight_factors, weighted_layer_choice
 from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator, NEURON_ROWS, WEIGHT_ROWS
-from repro.alficore.policies import InjectionPolicy, faults_required, fault_column_for_step
-from repro.alficore.wrapper import ptfiwrap
+from repro.alficore.goldencache import GoldenCache, GoldenCacheEntry
+from repro.alficore.layerweights import layer_weight_factors, weighted_layer_choice
 from repro.alficore.monitoring import InferenceMonitor, MonitorResult, RangeMonitor
+from repro.alficore.policies import InjectionPolicy, faults_required, fault_column_for_step
 from repro.alficore.protection import Clipper, Ranger, apply_protection, collect_activation_bounds
 from repro.alficore.results import CampaignResultWriter, load_fault_file
+from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario, save_scenario
 from repro.alficore.test_error_models_imgclass import TestErrorModels_ImgClass
 from repro.alficore.test_error_models_objdet import TestErrorModels_ObjDet
+from repro.alficore.wrapper import ptfiwrap
 
 __all__ = [
     "CampaignAnalysis",

@@ -29,7 +29,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import IO, Any
 
 import numpy as np
 import yaml
@@ -103,7 +103,7 @@ class DetectionRecord:
         }
 
 
-def _json_default(value):
+def _json_default(value: Any) -> Any:
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
@@ -121,14 +121,14 @@ class CsvRecordStream:
     :meth:`CampaignResultWriter.write_classification_csv` with no records.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = None
+        self._handle: IO[str] | None = None
         self._writer: csv.DictWriter | None = None
         self.num_records = 0
 
-    def write(self, record) -> None:
+    def write(self, record: Any) -> None:
         """Append one record (anything with ``as_row()``, or a plain dict)."""
         row = record.as_row() if hasattr(record, "as_row") else dict(record)
         if self._writer is None:
@@ -149,20 +149,20 @@ class CsvRecordStream:
     def __enter__(self) -> "CsvRecordStream":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
 
 class JsonArrayStream:
     """Incrementally write a JSON array (one element at a time)."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = None
+        self._handle: IO[str] | None = None
         self.num_records = 0
 
-    def write(self, record) -> None:
+    def write(self, record: Any) -> None:
         """Append one element (anything with ``as_dict()``, or JSON-able)."""
         if hasattr(record, "as_dict"):
             record = record.as_dict()
@@ -187,14 +187,14 @@ class JsonArrayStream:
     def __enter__(self) -> "JsonArrayStream":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
 
 _MERGE_CHUNK_BYTES = 1 << 20
 
 
-def _copy_bytes(src, out, remaining: int) -> None:
+def _copy_bytes(src: IO[bytes], out: IO[bytes], remaining: int) -> None:
     while remaining > 0:
         chunk = src.read(min(_MERGE_CHUNK_BYTES, remaining))
         if not chunk:
@@ -270,7 +270,7 @@ class CampaignResultWriter:
         campaign_name: prefix used for all file names.
     """
 
-    def __init__(self, output_dir: str | Path, campaign_name: str = "campaign"):
+    def __init__(self, output_dir: str | Path, campaign_name: str = "campaign") -> None:
         self.output_dir = Path(output_dir)
         self.output_dir.mkdir(parents=True, exist_ok=True)
         self.campaign_name = campaign_name
@@ -388,7 +388,7 @@ class CampaignResultWriter:
             return json.load(handle)
 
 
-def _to_plain(value: Any):
+def _to_plain(value: Any) -> Any:
     """Recursively convert numpy scalars/arrays and Paths into plain Python."""
     if isinstance(value, dict):
         return {key: _to_plain(item) for key, item in value.items()}

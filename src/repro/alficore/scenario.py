@@ -10,7 +10,7 @@ iterative experiments via ``ptfiwrap.get_scenario()`` /
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import yaml

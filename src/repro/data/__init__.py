@@ -15,10 +15,10 @@ subpackage provides:
   the paper.
 """
 
-from repro.data.dataset import DataLoader, Dataset, TensorDataset
-from repro.data.synthetic import SyntheticClassificationDataset, make_separable_classifier_data
 from repro.data.coco import CocoLikeDetectionDataset, coco_annotations_to_json
+from repro.data.dataset import DataLoader, Dataset, TensorDataset
 from repro.data.kitti import KITTI_CATEGORIES, KittiLikeDetectionDataset
+from repro.data.synthetic import SyntheticClassificationDataset, make_separable_classifier_data
 from repro.data.wrapper import AlfiDataLoaderWrapper, ImageRecord
 
 __all__ = [

@@ -10,7 +10,6 @@ KPIs the paper reports:
   its SDE and DUE variants.
 """
 
-from repro.eval.sdc import FaultOutcome, classify_classification_outcome, outcome_rates
 from repro.eval.classification import (
     ClassificationCampaignResult,
     evaluate_classification_campaign,
@@ -27,6 +26,7 @@ from repro.eval.detection import (
     ivmod_metric,
     match_detections,
 )
+from repro.eval.sdc import FaultOutcome, classify_classification_outcome, outcome_rates
 
 __all__ = [
     "ClassificationCampaignResult",

@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any
 
 from repro.alficore.scenario import ScenarioConfig
 from repro.experiments.result import CampaignResult
@@ -28,7 +29,7 @@ from repro.experiments.spec import BackendSpec, CachingSpec, ComponentSpec, Expe
 class ExperimentBuilder:
     """Accumulates spec fields; ``build()`` validates and returns the spec."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._spec = ExperimentSpec()
 
     def name(self, name: str) -> "ExperimentBuilder":
@@ -39,15 +40,17 @@ class ExperimentBuilder:
         self._spec.task = str(name)
         return self
 
-    def model(self, name: str, **params) -> "ExperimentBuilder":
+    def model(self, name: str, **params: Any) -> "ExperimentBuilder":
         self._spec.model = ComponentSpec(str(name), dict(params))
         return self
 
-    def dataset(self, name: str, **params) -> "ExperimentBuilder":
+    def dataset(self, name: str, **params: Any) -> "ExperimentBuilder":
         self._spec.dataset = ComponentSpec(str(name), dict(params))
         return self
 
-    def scenario(self, scenario: ScenarioConfig | None = None, **overrides) -> "ExperimentBuilder":
+    def scenario(
+        self, scenario: ScenarioConfig | None = None, **overrides: Any
+    ) -> "ExperimentBuilder":
         """Set the scenario: an explicit config, field overrides, or both.
 
         With neither argument the accumulated scenario is left untouched.
@@ -56,7 +59,7 @@ class ExperimentBuilder:
         self._spec.scenario = base.copy(**overrides) if overrides else base
         return self
 
-    def protection(self, name: str | None, **params) -> "ExperimentBuilder":
+    def protection(self, name: str | None, **params: Any) -> "ExperimentBuilder":
         self._spec.protection = ComponentSpec(str(name), dict(params)) if name else None
         return self
 
@@ -86,7 +89,7 @@ class ExperimentBuilder:
         self._spec.output_dir = Path(path) if path is not None else None
         return self
 
-    def options(self, **task_options) -> "ExperimentBuilder":
+    def options(self, **task_options: Any) -> "ExperimentBuilder":
         self._spec.task_options.update(task_options)
         return self
 
@@ -102,7 +105,7 @@ class ExperimentBuilder:
 class Experiment:
     """A spec plus conveniences: ``Experiment.builder()``, ``load``, ``run``."""
 
-    def __init__(self, spec: ExperimentSpec):
+    def __init__(self, spec: ExperimentSpec) -> None:
         self.spec = spec
 
     @staticmethod
@@ -119,7 +122,7 @@ class Experiment:
         """Persist the spec (format chosen by suffix)."""
         return self.spec.save(path)
 
-    def run(self, artifacts=None) -> CampaignResult:
+    def run(self, artifacts: Any = None) -> CampaignResult:
         """Execute the experiment through :func:`repro.experiments.run`."""
         from repro.experiments.runner import run
 

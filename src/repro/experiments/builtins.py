@@ -9,6 +9,8 @@ policies, workload tasks and execution backends.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 import numpy as np
 
 from repro.alficore.campaign import ShardedCampaignExecutor
@@ -74,8 +76,8 @@ def _register_error_models() -> None:
 # --------------------------------------------------------------------------- #
 # protections
 # --------------------------------------------------------------------------- #
-def _make_protection_factory(protection_name: str):
-    def factory(model, dataset, **params):
+def _make_protection_factory(protection_name: str) -> Callable:
+    def factory(model: Any, dataset: Any, **params: Any) -> Any:
         from repro.alficore.protection import apply_protection, collect_activation_bounds
 
         calibration = np.stack([dataset[i][0] for i in range(len(dataset))])
@@ -105,7 +107,7 @@ def _register_tasks() -> None:
 # --------------------------------------------------------------------------- #
 # backends
 # --------------------------------------------------------------------------- #
-def serial_backend(core, backend: BackendSpec):
+def serial_backend(core: Any, backend: BackendSpec) -> tuple[Any, dict[str, str]]:
     """In-process execution; supports ``step_range`` campaign slices."""
     if backend.workers != 1:
         raise ValueError("the serial backend runs with workers=1; use backend 'sharded'")
@@ -117,7 +119,7 @@ def serial_backend(core, backend: BackendSpec):
     return core.task.state, stream_paths
 
 
-def sharded_backend(core, backend: BackendSpec):
+def sharded_backend(core: Any, backend: BackendSpec) -> tuple[Any, dict[str, str]]:
     """Contiguous-shard execution through :class:`ShardedCampaignExecutor`."""
     if backend.step_range is not None:
         raise ValueError("backend 'sharded' does not support step_range; use 'serial' slices")

@@ -31,7 +31,7 @@ class RegistryError(KeyError):
 class UnknownComponentError(RegistryError):
     """Raised when a name is not registered; carries a did-you-mean hint."""
 
-    def __init__(self, kind: str, name: str, known: list[str]):
+    def __init__(self, kind: str, name: str, known: list[str]) -> None:
         suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
         message = f"unknown {kind} {name!r}"
         if suggestions:
@@ -49,7 +49,7 @@ class UnknownComponentError(RegistryError):
 class DuplicateComponentError(RegistryError):
     """Raised when a name is registered twice without ``override=True``."""
 
-    def __init__(self, kind: str, name: str):
+    def __init__(self, kind: str, name: str) -> None:
         super().__init__(
             f"{kind} {name!r} is already registered; pass override=True to replace it"
         )
@@ -66,7 +66,7 @@ class Registry:
             (``"model"``, ``"dataset"``, ...).
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._factories: dict[str, Callable] = {}
         self._metadata: dict[str, dict[str, Any]] = {}
@@ -75,8 +75,13 @@ class Registry:
     # registration
     # ------------------------------------------------------------------ #
     def register(
-        self, name: str, factory: Callable | None = None, *, override: bool = False, **metadata
-    ):
+        self,
+        name: str,
+        factory: Callable | None = None,
+        *,
+        override: bool = False,
+        **metadata: Any,
+    ) -> Callable:
         """Register ``factory`` under ``name`` (usable as a decorator).
 
         Args:
@@ -122,7 +127,7 @@ class Registry:
         self.get(name)
         return dict(self._metadata[name])
 
-    def names(self, **match) -> list[str]:
+    def names(self, **match: Any) -> list[str]:
         """Sorted names, optionally filtered by metadata equality."""
         return sorted(
             name
@@ -157,17 +162,31 @@ TASKS = Registry("task")
 BACKENDS = Registry("backend")
 
 
-def register_model(name: str, factory: Callable | None = None, *, kind: str = "classifier", override: bool = False):
+def register_model(
+    name: str,
+    factory: Callable | None = None,
+    *,
+    kind: str = "classifier",
+    override: bool = False,
+) -> Callable:
     """Register a model factory (``kind``: ``"classifier"`` or ``"detector"``)."""
     return MODELS.register(name, factory, kind=kind, override=override)
 
 
-def register_dataset(name: str, factory: Callable | None = None, *, task: str | None = None, override: bool = False):
+def register_dataset(
+    name: str,
+    factory: Callable | None = None,
+    *,
+    task: str | None = None,
+    override: bool = False,
+) -> Callable:
     """Register a dataset factory, optionally tagged with its task family."""
     return DATASETS.register(name, factory, task=task, override=override)
 
 
-def register_error_model(name: str, factory: Callable | None = None, *, override: bool = False):
+def register_error_model(
+    name: str, factory: Callable | None = None, *, override: bool = False
+) -> Callable:
     """Register an error-model factory ``f(scenario) -> ErrorModel``.
 
     On success the name also becomes a legal ``rnd_value_type`` scenario
@@ -194,19 +213,21 @@ def unregister_error_model(name: str) -> None:
     unregister_value_type(name)
 
 
-def register_protection(name: str, factory: Callable | None = None, *, override: bool = False):
+def register_protection(
+    name: str, factory: Callable | None = None, *, override: bool = False
+) -> Callable:
     """Register a protection factory ``f(model, dataset, **params) -> Module``."""
     return PROTECTIONS.register(name, factory, override=override)
 
 
-def register_task(name: str, plugin=None, *, override: bool = False):
+def register_task(name: str, plugin: Any = None, *, override: bool = False) -> Any:
     """Register an :class:`~repro.experiments.tasks.ExperimentTask` plug-in.
 
     Accepts an instance or a class (instantiated on registration), so the
     decorator form ``@register_task("seg")`` over a class works.
     """
     if plugin is None:
-        def decorator(obj):
+        def decorator(obj: Any) -> Any:
             register_task(name, obj, override=override)
             return obj
 
@@ -216,6 +237,8 @@ def register_task(name: str, plugin=None, *, override: bool = False):
     return TASKS.register(name, plugin, override=override)
 
 
-def register_backend(name: str, factory: Callable | None = None, *, override: bool = False):
+def register_backend(
+    name: str, factory: Callable | None = None, *, override: bool = False
+) -> Callable:
     """Register an execution backend ``f(core, backend_spec) -> (state, paths)``."""
     return BACKENDS.register(name, factory, override=override)

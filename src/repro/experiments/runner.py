@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.alficore.campaign import CampaignCore, normalize_campaign_scenario
+from repro.alficore.scenario import ScenarioConfig
 from repro.alficore.goldencache import GoldenCache
 from repro.alficore.results import CampaignResultWriter
 from repro.alficore.wrapper import ptfiwrap
@@ -37,7 +38,7 @@ def facade_spec(
     *,
     name: str,
     task: str,
-    scenario,
+    scenario: ScenarioConfig,
     workers: int = 1,
     num_shards: int | None = None,
     prefix_reuse: bool = True,
@@ -74,14 +75,14 @@ def facade_spec(
 
 
 def facade_run_scenario(
-    base,
+    base: ScenarioConfig,
     *,
     num_faults: int,
     inj_policy: str,
     num_runs: int,
     model_name: str,
     fault_file: str = "",
-):
+) -> ScenarioConfig:
     """The run-scenario one facade campaign call describes.
 
     An explicit (non-empty) ``fault_file`` argument overrides; a fault_file
@@ -114,7 +115,7 @@ class Artifacts:
     core: CampaignCore | None = None
 
 
-def _build_core(spec: ExperimentSpec, plugin, artifacts: Artifacts) -> CampaignCore:
+def _build_core(spec: ExperimentSpec, plugin: Any, artifacts: Artifacts) -> CampaignCore:
     dataset = artifacts.dataset
     if dataset is None:
         dataset = DATASETS.get(spec.dataset.name)(**spec.dataset.params)

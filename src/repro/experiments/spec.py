@@ -42,6 +42,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import yaml
 
@@ -62,7 +63,7 @@ def _reject_unknown(data: dict, known: set[str], where: str) -> None:
         )
 
 
-def _int_field(value, where: str) -> int:
+def _int_field(value: object, where: str) -> int:
     if isinstance(value, bool):
         raise SpecError(f"{where} must be an integer, got {value!r}")
     if isinstance(value, int):
@@ -201,7 +202,7 @@ class CachingSpec:
             raise SpecError(f"caching.golden_cache_mb must be >= 0, got {self.golden_cache_mb}")
 
 
-def _plain(value):
+def _plain(value: Any) -> Any:
     """Recursively convert to YAML/JSON-serialisable plain python.
 
     Delegates to the result writer's converter so numpy scalars/arrays and
@@ -368,7 +369,7 @@ class ExperimentSpec:
         spec.validate()
         return spec
 
-    def copy(self, **overrides) -> "ExperimentSpec":
+    def copy(self, **overrides: Any) -> "ExperimentSpec":
         """A deep copy with selected (top-level) fields replaced."""
         clone = dataclasses.replace(
             self,

@@ -11,6 +11,8 @@ renders a terminal report.  Registering a new ``ExperimentTask`` (via
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.alficore.campaign import ClassificationTask, DetectionTask
@@ -43,20 +45,20 @@ class ExperimentTask:
     # ------------------------------------------------------------------ #
     # construction hooks
     # ------------------------------------------------------------------ #
-    def build_model(self, spec: ExperimentSpec, dataset):
+    def build_model(self, spec: ExperimentSpec, dataset: Any) -> Any:
         """Build (and prepare) the baseline model from the MODELS registry."""
         raise NotImplementedError
 
-    def build_protection(self, spec: ExperimentSpec, model, dataset):
+    def build_protection(self, spec: ExperimentSpec, model: Any, dataset: Any) -> Any:
         """Build the hardened ("resil") variant from the PROTECTIONS registry."""
         factory = PROTECTIONS.get(spec.protection.name)
         return factory(model, dataset, **spec.protection.params)
 
-    def make_campaign_task(self, spec: ExperimentSpec):
+    def make_campaign_task(self, spec: ExperimentSpec) -> Any:
         """Instantiate the lock-step :class:`CampaignTask` for this run."""
         raise NotImplementedError
 
-    def resolve_num_classes(self, spec: ExperimentSpec, dataset, model) -> int | None:
+    def resolve_num_classes(self, spec: ExperimentSpec, dataset: Any, model: Any) -> int | None:
         """Number of classes for evaluation (model params > dataset > model)."""
         for source in (spec.model.params.get("num_classes"), getattr(dataset, "num_classes", None),
                        getattr(model, "num_classes", None)):
@@ -67,7 +69,7 @@ class ExperimentTask:
     # ------------------------------------------------------------------ #
     # evaluation / persistence hooks
     # ------------------------------------------------------------------ #
-    def evaluate(self, state, context: dict) -> tuple[dict, dict]:
+    def evaluate(self, state: Any, context: dict) -> tuple[dict, dict]:
         """Turn the aggregate campaign state into ``(kpi_objects, extras)``.
 
         ``kpi_objects`` feed the summary/KPI files; ``extras`` are
@@ -86,7 +88,7 @@ class ExperimentTask:
             summary["resil"] = evaluated["resil"].as_dict()
         return summary
 
-    def aux_outputs(self, writer: CampaignResultWriter, state, context: dict) -> dict[str, str]:
+    def aux_outputs(self, writer: CampaignResultWriter, state: Any, context: dict) -> dict[str, str]:
         """Extra task-specific files written between the fault matrix and the
         record streams (e.g. detection ground truth)."""
         return {}
@@ -95,8 +97,8 @@ class ExperimentTask:
         self,
         writer: CampaignResultWriter | None,
         scenario: ScenarioConfig,
-        wrapper,
-        state,
+        wrapper: Any,
+        state: Any,
         stream_paths: dict[str, str],
         evaluated: dict,
         context: dict,
@@ -119,7 +121,7 @@ class ExperimentTask:
             paths["kpis"] = str(writer.write_kpi_summary(kpis))
         return paths
 
-    def report(self, result, spec: ExperimentSpec) -> str:
+    def report(self, result: Any, spec: ExperimentSpec) -> str:
         """Human-readable terminal report of one finished campaign."""
         import json
 
@@ -137,7 +139,7 @@ class ClassificationExperimentTask(ExperimentTask):
     default_input_shape = (3, 32, 32)
     campaign_task_cls = ClassificationTask
 
-    def build_model(self, spec: ExperimentSpec, dataset):
+    def build_model(self, spec: ExperimentSpec, dataset: Any) -> Any:
         from repro.models.pretrained import fit_classifier_head
 
         factory = MODELS.get(spec.model.name)
@@ -165,7 +167,7 @@ class ClassificationExperimentTask(ExperimentTask):
             )
         return ClassificationTask(collect_outputs=collect_outputs)
 
-    def evaluate(self, state, context: dict) -> tuple[dict, dict]:
+    def evaluate(self, state: Any, context: dict) -> tuple[dict, dict]:
         if not state.golden_logits:
             # Streaming-only run (collect_outputs=False): the per-inference
             # records live in the stream files, but the state's counters are
@@ -198,7 +200,7 @@ class ClassificationExperimentTask(ExperimentTask):
         return evaluated, extras
 
     @staticmethod
-    def _evaluate_from_counters(state, context: dict) -> dict:
+    def _evaluate_from_counters(state: Any, context: dict) -> dict:
         """KPIs of a streaming run, computed from the aggregate counters.
 
         Identical rates to the logit-based evaluation (same per-inference
@@ -224,7 +226,7 @@ class ClassificationExperimentTask(ExperimentTask):
             )
         }
 
-    def report(self, result, spec: ExperimentSpec) -> str:
+    def report(self, result: Any, spec: ExperimentSpec) -> str:
         from repro.visualization import comparison_table
 
         corrupted = result.results.get("corrupted")
@@ -273,7 +275,7 @@ class DetectionExperimentTask(ExperimentTask):
     default_input_shape = (3, 64, 64)
     campaign_task_cls = DetectionTask
 
-    def build_model(self, spec: ExperimentSpec, dataset):
+    def build_model(self, spec: ExperimentSpec, dataset: Any) -> Any:
         factory = MODELS.get(spec.model.name)
         return factory(**spec.model.params).eval()
 
@@ -282,7 +284,7 @@ class DetectionExperimentTask(ExperimentTask):
             collect_applied_log=bool(spec.task_options.get("collect_applied_log", True))
         )
 
-    def evaluate(self, state, context: dict) -> tuple[dict, dict]:
+    def evaluate(self, state: Any, context: dict) -> tuple[dict, dict]:
         model_name = context["model_name"]
         num_classes = context.get("num_classes")
         if num_classes is None:
@@ -314,7 +316,7 @@ class DetectionExperimentTask(ExperimentTask):
         }
         return evaluated, extras
 
-    def aux_outputs(self, writer: CampaignResultWriter, state, context: dict) -> dict[str, str]:
+    def aux_outputs(self, writer: CampaignResultWriter, state: Any, context: dict) -> dict[str, str]:
         serialisable_targets = [
             {
                 "image_id": int(target["image_id"]),
@@ -326,7 +328,7 @@ class DetectionExperimentTask(ExperimentTask):
         ]
         return {"ground_truth": str(writer.write_ground_truth_json(serialisable_targets))}
 
-    def report(self, result, spec: ExperimentSpec) -> str:
+    def report(self, result: Any, spec: ExperimentSpec) -> str:
         from repro.visualization import bar_chart
 
         corrupted = result.results["corrupted"]

@@ -1,0 +1,60 @@
+"""Baseline files — grandfathering pre-existing findings.
+
+A baseline is a checked-in JSON file recording known findings so that a
+legacy violation does not fail CI while *new* violations still do.  Findings
+are matched on ``(rule, path, message)`` — line numbers are stored for
+human readers but ignored during matching, so unrelated edits that shift a
+grandfathered line do not resurrect it.
+
+The repository policy (see README "Static analysis") is an **empty**
+baseline: real violations get fixed, deliberate exceptions get an inline
+``# repro-lint: disable=<rule>`` with a justifying comment.  The baseline
+exists as an escape hatch for incremental adoption of future rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+#: Default baseline location, resolved relative to the working directory.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed or incompatible baseline files."""
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    """Load a baseline file written by :func:`write_baseline`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"malformed baseline {path}: {error}") from error
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(f"malformed baseline {path}: expected a 'findings' object")
+    version = data.get("version", _FORMAT_VERSION)
+    if version > _FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path} has format version {version}; this repro-lint "
+            f"only understands <= {_FORMAT_VERSION}"
+        )
+    try:
+        return [Finding.from_dict(entry) for entry in data["findings"]]
+    except (KeyError, TypeError, ValueError) as error:
+        raise BaselineError(f"malformed baseline entry in {path}: {error}") from error
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable output)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": [finding.as_dict() for finding in sorted(findings)],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,135 @@
+"""Command-line front end for repro-lint.
+
+Standalone module entry (``python -m repro.lint``) and the implementation
+behind the ``pytorchalfi lint`` subcommand — both share
+:func:`add_lint_arguments` / :func:`run_from_args`, so flags and behavior
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.experiments.registry import UnknownComponentError
+from repro.lint.baseline import DEFAULT_BASELINE, BaselineError, load_baseline, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import RULES, rule_names
+from repro.lint.reporters import REPORTERS
+
+#: Targets linted when none are given (filtered to those that exist).
+DEFAULT_TARGETS = ("src", "examples", "benchmarks")
+
+
+def _comma_list(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared repro-lint options to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path, metavar="PATH",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)} if present)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--enable", type=_comma_list, default=None, metavar="RULES",
+        help="comma-separated allow-list of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable", type=_comma_list, default=None, metavar="RULES",
+        help="comma-separated rules to skip",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+
+
+def _resolve_targets(paths: Sequence[Path]) -> list[Path]:
+    if paths:
+        return list(paths)
+    targets = [Path(name) for name in DEFAULT_TARGETS if Path(name).exists()]
+    if not targets:
+        raise SystemExit(
+            "repro-lint: no paths given and no default targets "
+            f"({', '.join(DEFAULT_TARGETS)}) found in the working directory"
+        )
+    return targets
+
+
+def _list_rules(stream: IO[str]) -> None:
+    import repro.lint.rules  # noqa: F401  (register built-ins)
+
+    for name in rule_names():
+        meta = RULES.metadata(name)
+        stream.write(f"{name:24s} {meta.get('description', '')}\n")
+
+
+def run_from_args(args: argparse.Namespace, stream: IO[str] | None = None) -> int:
+    """Execute a lint run described by parsed arguments; returns the exit code."""
+    stream = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        _list_rules(stream)
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = []
+    if baseline_path is not None and not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            raise SystemExit(f"repro-lint: baseline file not found: {baseline_path}")
+        except BaselineError as error:
+            raise SystemExit(f"repro-lint: {error}")
+
+    try:
+        report = lint_paths(
+            _resolve_targets(args.paths),
+            enable=args.enable,
+            disable=args.disable,
+            baseline=baseline,
+        )
+    except UnknownComponentError as error:
+        raise SystemExit(f"repro-lint: {error}")
+    except FileNotFoundError as error:
+        raise SystemExit(f"repro-lint: {error}")
+
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else DEFAULT_BASELINE
+        write_baseline(target, report.findings)
+        stream.write(f"wrote {len(report.findings)} findings to {target}\n")
+        return 0
+
+    REPORTERS[args.format](report, stream)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & bit-exactness static analysis for this repository.",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

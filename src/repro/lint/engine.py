@@ -1,0 +1,317 @@
+"""The repro-lint engine: file discovery, parsing, suppressions, dispatch.
+
+One :class:`FileContext` is built per Python file (AST, source lines, parent
+links, numpy-alias tracking) and handed to every active rule.  Findings then
+pass through two filters before they are reported:
+
+* **suppression comments** — ``# repro-lint: disable=<rule>[,<rule>...]`` on
+  the flagged line, or ``# repro-lint: disable-file=<rule>[,...]`` anywhere
+  in the file (``all`` matches every rule).  Comments are located with
+  :mod:`tokenize`, so ``#`` inside string literals never counts.
+* **baseline** — grandfathered findings recorded by ``--write-baseline``
+  (matched on ``(rule, path, message)``, so unrelated line drift does not
+  resurrect them; see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.lint.registry import PARSE_ERROR_RULE, RULES, resolve_rules
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".benchmarks"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[\w\-, ]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, sortable into report order."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching — deliberately line-free."""
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data.get("line", 0)),  # type: ignore[arg-type]
+            col=int(data.get("col", 0)),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs to know about one parsed Python file.
+
+    Attributes:
+        path: the file on disk.
+        display_path: normalized (posix, relative-to-cwd when possible) path
+            used in findings, suppression accounting and the baseline.
+        source: full file text.
+        lines: source split into lines (1-based access via ``lines[line-1]``).
+        tree: the parsed :class:`ast.Module`.
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module, display_path: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._numpy_aliases: tuple[set[str], set[str], set[str]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # structure helpers
+    # ------------------------------------------------------------------ #
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module root)."""
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from the innermost outwards."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The nearest function scope containing ``node`` (None at module level)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def numpy_aliases(self) -> tuple[set[str], set[str], set[str]]:
+        """Local names bound to numpy, numpy.random and default_rng.
+
+        Returns ``(numpy_names, random_names, default_rng_names)`` for e.g.
+        ``import numpy as np`` / ``from numpy import random`` /
+        ``from numpy.random import default_rng``.
+        """
+        if self._numpy_aliases is None:
+            numpy_names: set[str] = set()
+            random_names: set[str] = set()
+            rng_names: set[str] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "numpy":
+                            numpy_names.add(alias.asname or "numpy")
+                        elif alias.name == "numpy.random" and alias.asname:
+                            random_names.add(alias.asname)
+                elif isinstance(node, ast.ImportFrom):
+                    if node.module == "numpy":
+                        for alias in node.names:
+                            if alias.name == "random":
+                                random_names.add(alias.asname or "random")
+                    elif node.module == "numpy.random":
+                        for alias in node.names:
+                            if alias.name == "default_rng":
+                                rng_names.add(alias.asname or "default_rng")
+            self._numpy_aliases = (numpy_names, random_names, rng_names)
+        return self._numpy_aliases
+
+    # ------------------------------------------------------------------ #
+    # finding construction
+    # ------------------------------------------------------------------ #
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state extracted from the source comments."""
+
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    def matches(self, finding: Finding) -> bool:
+        for rules in (self.file_rules, self.line_rules.get(finding.line, ())):
+            if finding.rule in rules or "all" in rules:
+                return True
+        return False
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract ``# repro-lint:`` suppression comments via :mod:`tokenize`."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            rules = {name.strip() for name in match.group("rules").split(",") if name.strip()}
+            if match.group("kind") == "disable-file":
+                suppressions.file_rules |= rules
+            else:
+                suppressions.line_rules.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # the ast parse error is reported instead
+    return suppressions
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        parts = [
+            f"{len(self.findings)} {noun}",
+            f"{self.files_checked} files checked",
+            f"{len(self.rules)} rules active",
+        ]
+        if self.suppressed:
+            parts.append(f"{self.suppressed} suppressed by comments")
+        if self.baselined:
+            parts.append(f"{self.baselined} grandfathered by baseline")
+        return ", ".join(parts)
+
+
+def iter_python_files(targets: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` file list."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            files.append(path)
+
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    add(candidate)
+        elif path.suffix == ".py" and path.exists():
+            add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+    return files
+
+
+def display_path(path: Path) -> str:
+    """Posix path relative to cwd when possible (stable across machines)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_context(path: Path) -> tuple[FileContext | None, Finding | None]:
+    """Parse one file; on syntax errors return a parse-error finding instead."""
+    shown = display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError, UnicodeDecodeError) as error:
+        line = getattr(error, "lineno", 0) or 0
+        col = getattr(error, "offset", 0) or 0
+        message = getattr(error, "msg", None) or str(error)
+        return None, Finding(shown, line, col, PARSE_ERROR_RULE, f"cannot parse: {message}")
+    return FileContext(path, source, tree, shown), None
+
+
+def lint_paths(
+    targets: Iterable[str | Path],
+    *,
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+    baseline: Iterable[Finding] | None = None,
+) -> LintReport:
+    """Lint ``targets`` and return a :class:`LintReport`.
+
+    Args:
+        targets: files and/or directories (recursed for ``*.py``).
+        enable: explicit rule allow-list (default: all default-enabled rules).
+        disable: rules to remove from the active set.
+        baseline: grandfathered findings (matched line-insensitively).
+    """
+    # Built-in rules register on import; deferred so the registry is never
+    # populated as a side effect of importing repro.lint submodules.
+    import repro.lint.rules  # noqa: F401
+
+    report = LintReport(rules=resolve_rules(enable, disable))
+    baseline_keys = {finding.baseline_key for finding in baseline or ()}
+    checkers = [(name, RULES.get(name)) for name in report.rules]
+
+    for path in iter_python_files(targets):
+        report.files_checked += 1
+        ctx, parse_finding = build_context(path)
+        if ctx is None:
+            if parse_finding is not None:
+                report.findings.append(parse_finding)
+            continue
+        suppressions = scan_suppressions(ctx.source)
+        for name, checker in checkers:
+            for finding in checker(ctx):
+                if suppressions.matches(finding):
+                    report.suppressed += 1
+                elif finding.baseline_key in baseline_keys:
+                    report.baselined += 1
+                else:
+                    report.findings.append(finding)
+
+    report.findings.sort()
+    return report

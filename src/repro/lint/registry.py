@@ -1,0 +1,90 @@
+"""The lint-rule registry.
+
+Rules are plug-ins on the same :class:`~repro.experiments.registry.Registry`
+machinery that backs the experiment component registries: registration is a
+decorator, duplicate names raise, unknown names raise with a did-you-mean
+suggestion, and ``sorted(RULES)`` drives CLI ``choices`` and ``--list-rules``.
+
+A rule is a callable ``rule(ctx: FileContext) -> Iterable[Finding]`` that
+inspects one parsed file and yields findings.  Registration metadata:
+
+``description``
+    one-line summary shown by ``--list-rules``.
+``default``
+    whether the rule runs when no explicit ``--enable`` list is given
+    (all built-in rules default to on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.experiments.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.engine import FileContext, Finding
+
+RuleChecker = Callable[["FileContext"], Iterable["Finding"]]
+
+RULES = Registry("lint rule")
+
+#: Pseudo-rule name attached to findings for files that fail to parse.  It is
+#: not registered (it cannot be disabled), but suppression/baseline matching
+#: treats it like any other rule name.
+PARSE_ERROR_RULE = "parse-error"
+
+
+def register_rule(
+    name: str,
+    checker: RuleChecker | None = None,
+    *,
+    description: str = "",
+    default: bool = True,
+    override: bool = False,
+) -> RuleChecker | Callable[[RuleChecker], RuleChecker]:
+    """Register a lint rule (usable as a decorator).
+
+    Args:
+        name: rule identifier used in reports, suppression comments and the
+            baseline file (kebab-case by convention).
+        checker: ``rule(ctx) -> Iterable[Finding]``; omit for decorator use.
+        description: one-line summary for ``--list-rules``.
+        default: run the rule when no ``--enable`` allow-list is given.
+        override: replace an existing registration instead of raising.
+    """
+    return RULES.register(
+        name, checker, description=description, default=default, override=override
+    )
+
+
+def rule_names(*, default_only: bool = False) -> list[str]:
+    """Sorted registered rule names (optionally only default-enabled ones)."""
+    if default_only:
+        return RULES.names(default=True)
+    return sorted(RULES)
+
+
+def resolve_rules(
+    enable: Iterable[str] | None = None, disable: Iterable[str] | None = None
+) -> list[str]:
+    """Return the active rule names for a run.
+
+    Args:
+        enable: explicit allow-list (unknown names raise with did-you-mean);
+            ``None`` means "all default-enabled rules".
+        disable: names removed from the active set (also validated).
+    """
+    if enable is None:
+        active = rule_names(default_only=True)
+    else:
+        active = []
+        for name in enable:
+            RULES.get(name)  # raises UnknownComponentError with a suggestion
+            if name not in active:
+                active.append(name)
+        active.sort()
+    for name in disable or ():
+        RULES.get(name)
+        if name in active:
+            active.remove(name)
+    return active

@@ -1,0 +1,36 @@
+"""Finding reporters — human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.lint.engine import LintReport
+
+
+def render_text(report: LintReport, stream: IO[str]) -> None:
+    """``path:line:col: [rule] message`` lines plus a one-line summary."""
+    for finding in report.findings:
+        stream.write(finding.render() + "\n")
+    if report.findings:
+        stream.write("\n")
+    stream.write(report.summary() + "\n")
+
+
+def render_json(report: LintReport, stream: IO[str]) -> None:
+    """A stable JSON document (findings sorted by path/line/col/rule)."""
+    payload = {
+        "findings": [finding.as_dict() for finding in report.findings],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "files_checked": report.files_checked,
+            "rules": report.rules,
+        },
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,71 @@
+"""Rule ``deprecated-facade`` — no new code on the deprecated shims.
+
+``TestErrorModels_ImgClass``, ``TestErrorModels_ObjDet`` and
+``CampaignRunner`` survive only as deprecated shims that translate their
+constructor arguments into an :class:`~repro.experiments.spec.ExperimentSpec`
+and delegate to :func:`repro.experiments.run`.  They exist so *pre-existing*
+user code keeps working byte-identically — new code written against them
+accumulates exactly the API drift PR 4 removed, and misses everything the
+spec path adds (validation, registries, sharding/caching configuration,
+``CampaignResult`` merging).
+
+Flagged: ``import``/``from ... import`` of the facade names anywhere except
+the shim modules themselves, the ``repro.alficore`` package ``__init__``
+that re-exports them for backwards compatibility, and their dedicated
+shim-behavior tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import register_rule
+
+RULE = "deprecated-facade"
+
+_FACADE_NAMES = {"TestErrorModels_ImgClass", "TestErrorModels_ObjDet", "CampaignRunner"}
+
+#: Path suffixes where facade imports are legitimate: the shims themselves,
+#: the backwards-compat re-export, and the tests that pin shim behavior.
+_ALLOWED_SUFFIXES = (
+    "repro/alficore/__init__.py",
+    "repro/alficore/campaign.py",
+    "repro/alficore/test_error_models_imgclass.py",
+    "repro/alficore/test_error_models_objdet.py",
+    "tests/test_alficore_campaign.py",
+    "tests/test_alficore_imgclass.py",
+    "tests/test_alficore_objdet.py",
+    "tests/test_experiments_run.py",
+)
+
+
+def _is_facade(name: str) -> bool:
+    base = name.rsplit(".", maxsplit=1)[-1]
+    return base in _FACADE_NAMES or base.startswith("TestErrorModels_")
+
+
+def _finding(ctx: FileContext, node: ast.AST, name: str) -> Finding:
+    return ctx.finding(
+        node,
+        RULE,
+        f"import of deprecated facade '{name}': it is a compatibility shim over "
+        "the Experiment API; new code should build an ExperimentSpec and call "
+        "repro.experiments.run (see README 'Experiment API')",
+    )
+
+
+@register_rule(RULE, description="no new imports of TestErrorModels_* / CampaignRunner outside their shims")
+def check(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.display_path.endswith(_ALLOWED_SUFFIXES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if _is_facade(alias.name):
+                    yield _finding(ctx, node, alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_facade(alias.name):
+                    yield _finding(ctx, node, alias.name)

@@ -1,0 +1,71 @@
+"""Rule ``registry-mutation`` — components are registered, not poked in.
+
+PR 4 absorbed the ad-hoc component dicts (``MODEL_REGISTRY``,
+``DETECTOR_REGISTRY``) into the central :mod:`repro.experiments.registry`
+singletons; the ``register_*`` functions are the supported write path.  They
+guard against silent duplicate registrations, attach metadata that drives
+CLI ``choices`` and did-you-mean errors, and keep legal ``rnd_value_type``
+scenario values in sync with registered error models.  Writing straight
+into a legacy ``*_REGISTRY`` dict bypasses all of that — the component
+exists in one lookup path but not in the registries the Experiment API,
+the CLI and the spec validator consult.
+
+Flagged: subscript assignment/deletion and mutating method calls
+(``update``/``setdefault``/``pop``/``popitem``/``clear``) on any name
+matching ``*_REGISTRY``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import register_rule
+from repro.lint.rules._ast_utils import terminal_name
+
+RULE = "registry-mutation"
+
+_REGISTRY_NAME = re.compile(r"[A-Z][A-Z0-9_]*_REGISTRY\Z")
+_MUTATING_METHODS = {"update", "setdefault", "pop", "popitem", "clear", "__setitem__"}
+
+
+def _registry_subscript(node: ast.AST) -> str | None:
+    """Return the registry name when ``node`` is ``SOME_REGISTRY[...]``."""
+    if isinstance(node, ast.Subscript):
+        name = terminal_name(node.value)
+        if name and _REGISTRY_NAME.match(name):
+            return name
+    return None
+
+
+def _finding(ctx: FileContext, node: ast.AST, registry: str, how: str) -> Finding:
+    return ctx.finding(
+        node,
+        RULE,
+        f"direct {how} of legacy registry dict '{registry}': bypasses duplicate "
+        "guards, metadata and did-you-mean errors; use the register_* functions "
+        "from repro.experiments instead",
+    )
+
+
+@register_rule(RULE, description="no direct mutation of legacy *_REGISTRY dicts; use register_* calls")
+def check(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                registry = _registry_subscript(target)
+                if registry:
+                    yield _finding(ctx, node, registry, "item assignment")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                registry = _registry_subscript(target)
+                if registry:
+                    yield _finding(ctx, node, registry, "item deletion")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                name = terminal_name(node.func.value)
+                if name and _REGISTRY_NAME.match(name):
+                    yield _finding(ctx, node, name, f"'{node.func.attr}()' mutation")

@@ -1,0 +1,95 @@
+"""Rule ``rng-discipline`` — every random draw must be seeded and local.
+
+The fault matrix, the per-group corruption streams and the epoch
+permutations are all derived from ``scenario.random_seed``; that is what
+makes a sharded campaign byte-identical to a serial run and a rerun
+byte-identical to its predecessor.  Two patterns silently break this:
+
+* **legacy global-state numpy RNG** (``np.random.rand()``,
+  ``np.random.seed()``, ...): draws consume one hidden process-global
+  stream, so results depend on call *order* across the whole process —
+  different shard geometry, different numbers.
+* **unseeded generators** (``np.random.default_rng()`` with no seed or an
+  explicit ``None``): fresh OS entropy per construction, never
+  reproducible.
+
+The fix is always the same: construct ``np.random.default_rng(seed)`` from
+a scenario- or argument-derived seed and pass the generator down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import register_rule
+from repro.lint.rules._ast_utils import dotted_name
+
+RULE = "rng-discipline"
+
+#: numpy.random module attributes that are *not* global-state draws.
+_ALLOWED_RANDOM_ATTRS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "RandomState",  # constructing an explicit (seedable) legacy stream
+}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when ``default_rng`` is called with no seed or a literal None."""
+    if not call.args and not call.keywords:
+        return True
+    if call.keywords:
+        return False
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register_rule(RULE, description="seeded, local RNG only: no legacy np.random.* globals, no unseeded default_rng()")
+def check(ctx: FileContext) -> Iterator[Finding]:
+    numpy_names, random_names, rng_names = ctx.numpy_aliases()
+    if not (numpy_names or random_names or rng_names):
+        return
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+
+        # np.random.<fn>(...) / random_alias.<fn>(...)
+        attr: str | None = None
+        if len(parts) == 3 and parts[0] in numpy_names and parts[1] == "random":
+            attr = parts[2]
+        elif len(parts) == 2 and parts[0] in random_names:
+            attr = parts[1]
+
+        if attr is not None and attr not in _ALLOWED_RANDOM_ATTRS:
+            yield ctx.finding(
+                node,
+                RULE,
+                f"legacy global-state RNG call 'np.random.{attr}(...)': draws depend "
+                "on process-wide call order, breaking shard byte-identity; use a "
+                "seeded np.random.default_rng(seed) generator passed down explicitly",
+            )
+            continue
+
+        is_default_rng = (attr == "default_rng") or (len(parts) == 1 and parts[0] in rng_names)
+        if is_default_rng and _is_unseeded(node):
+            yield ctx.finding(
+                node,
+                RULE,
+                "unseeded default_rng(): draws fresh OS entropy on every run, so the "
+                "fault campaign is not reproducible; derive the seed from the "
+                "scenario (e.g. default_rng(scenario.random_seed))",
+            )

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro import nn
+from repro.models.compact import mobilenet_lite, squeezenet_lite
 from repro.nn import init
 from repro.nn.module import Module
 
@@ -332,6 +333,9 @@ def resnet50(num_classes: int = 10, width: float = 0.125, seed: int = 0) -> ResN
     return ResNet(Bottleneck, (3, 4, 6, 3), num_classes=num_classes, width=width, seed=seed)
 
 
+# The compact architectures (mobilenet/squeezenet) live in their own module;
+# listing them here keeps build_model() the single entry point for every
+# classifier family.
 MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
     "mlp": mlp,
     "lenet5": lenet5,
@@ -340,14 +344,9 @@ MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
     "vgg16": vgg16,
     "resnet18": resnet18,
     "resnet50": resnet50,
+    "mobilenet": mobilenet_lite,
+    "squeezenet": squeezenet_lite,
 }
-
-# The compact architectures live in their own module; registering them here
-# keeps build_model() the single entry point for every classifier family.
-from repro.models.compact import mobilenet_lite, squeezenet_lite  # noqa: E402
-
-MODEL_REGISTRY["mobilenet"] = mobilenet_lite
-MODEL_REGISTRY["squeezenet"] = squeezenet_lite
 
 
 def build_model(name: str, **kwargs) -> Module:

@@ -8,8 +8,8 @@ detections, so corrupted activations or weights manifest as missing, moved
 or spurious boxes — exactly what the IVMOD metric quantifies.
 """
 
-from repro.models.detection.boxes import box_iou, clip_boxes, nms, xywh_to_xyxy, xyxy_to_xywh
 from repro.models.detection.anchors import generate_anchor_grid
+from repro.models.detection.boxes import box_iou, clip_boxes, nms, xywh_to_xyxy, xyxy_to_xywh
 from repro.models.detection.detectors import (
     DETECTOR_REGISTRY,
     Detection,

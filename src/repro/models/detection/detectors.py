@@ -26,11 +26,10 @@ from typing import Callable
 import numpy as np
 
 from repro import nn
-from repro.nn import functional as F
-from repro.nn import init
-from repro.nn.module import Module
 from repro.models.detection.anchors import decode_offsets, generate_anchor_grid
 from repro.models.detection.boxes import clip_boxes, nms
+from repro.nn import functional as F, init
+from repro.nn.module import Module
 
 
 @dataclass

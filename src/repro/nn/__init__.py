@@ -14,8 +14,8 @@ subset of the PyTorch module contract that PyTorchFI / PyTorchALFI rely on:
   so every model in the zoo is deterministic.
 """
 
-from repro.nn.module import Module, RemovableHandle, Parameter
-from repro.nn.containers import Sequential, ModuleList
+from repro.nn import functional, init
+from repro.nn.containers import ModuleList, Sequential
 from repro.nn.layers import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -35,8 +35,7 @@ from repro.nn.layers import (
     Upsample,
 )
 from repro.nn.forward_plan import ActivationArena, ForwardPlan
-from repro.nn import functional
-from repro.nn import init
+from repro.nn.module import Module, Parameter, RemovableHandle
 
 __all__ = [
     "ActivationArena",

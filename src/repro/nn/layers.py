@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import functional as F
-from repro.nn import init
+from repro.nn import functional as F, init
 from repro.nn.module import Module, Parameter
 
 

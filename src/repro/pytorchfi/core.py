@@ -29,7 +29,7 @@ Two execution strategies are offered per injection target:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -37,7 +37,6 @@ import numpy as np
 from repro import nn
 from repro.nn.module import Module, RemovableHandle
 from repro.pytorchfi.errormodels import BitFlipErrorModel, ErrorModel, StuckAtErrorModel
-from repro.tensor.bitops import flip_bit_scalar
 
 # Registry of injectable layer types.  The paper's extensibility section
 # describes adding custom trainable layers via the ``verify_layer`` function;

@@ -1,0 +1,8 @@
+"""True positives for deprecated-facade: importing the legacy shims."""
+
+from repro.alficore import CampaignRunner, TestErrorModels_ImgClass
+from repro.alficore.test_error_models_objdet import TestErrorModels_ObjDet
+
+runner = CampaignRunner
+imgclass = TestErrorModels_ImgClass
+objdet = TestErrorModels_ObjDet

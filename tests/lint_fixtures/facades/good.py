@@ -1,0 +1,6 @@
+"""Clean campaign construction: the declarative Experiment API."""
+
+from repro.experiments import Experiment
+from repro.experiments.runner import Artifacts, facade_run_scenario, facade_spec, run
+
+__all__ = ["Artifacts", "Experiment", "facade_run_scenario", "facade_spec", "run"]

@@ -1,0 +1,12 @@
+"""True positives for float-reduction-order: accumulation over set iteration."""
+
+
+def total_over_set(values: list) -> float:
+    return sum({round(v, 6) for v in values})  # set iteration order is hash-dependent
+
+
+def loop_accumulation(errors: list) -> float:
+    acc = 0.0
+    for value in set(errors):
+        acc += value  # += over a set: order-sensitive float sum
+    return acc

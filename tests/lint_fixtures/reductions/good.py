@@ -1,0 +1,16 @@
+"""Clean float reductions: ordered iterables only."""
+
+
+def total_over_sorted(values: set) -> float:
+    return sum(sorted(values))
+
+
+def loop_accumulation(errors: list) -> float:
+    acc = 0.0
+    for value in errors:
+        acc += value
+    return acc
+
+
+def membership_is_fine(values: set) -> int:
+    return len(values)  # sets are fine when no float reduction runs over them

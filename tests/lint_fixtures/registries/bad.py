@@ -1,0 +1,15 @@
+"""True positives for registry-mutation: direct writes to legacy dicts."""
+
+from repro.models import MODEL_REGISTRY
+from repro.models.detection import DETECTOR_REGISTRY
+
+
+def build(name):
+    return object()
+
+
+MODEL_REGISTRY["custom"] = build  # bypasses duplicate/did-you-mean checks
+
+DETECTOR_REGISTRY.update({"other": build})
+
+del MODEL_REGISTRY["custom"]

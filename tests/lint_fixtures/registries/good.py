@@ -1,0 +1,14 @@
+"""Clean registry usage: registration through the central API."""
+
+from repro.experiments import register_model
+from repro.models import MODEL_REGISTRY
+
+
+@register_model("custom-lint-fixture")
+def build(num_classes: int = 10, seed: int = 0):
+    return object()
+
+
+# Reading a legacy registry is fine; only mutation is flagged.
+known = sorted(MODEL_REGISTRY)
+factory = MODEL_REGISTRY.get("lenet5")

@@ -1,0 +1,12 @@
+"""True positives for rng-discipline: legacy globals and unseeded generators."""
+
+import numpy as np
+from numpy.random import default_rng
+
+np.random.seed(1234)  # legacy global RNG state
+
+values = np.random.rand(4)  # draws from the shared global stream
+
+rng = default_rng()  # unseeded: every run draws differently
+
+other = np.random.default_rng(None)  # literal None seed is still unseeded

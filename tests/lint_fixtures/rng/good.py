@@ -1,0 +1,15 @@
+"""Clean RNG usage: seeded, locally owned generators only."""
+
+import numpy as np
+from numpy.random import default_rng
+
+rng = default_rng(1234)
+values = rng.normal(size=4)
+
+other = np.random.default_rng(42)
+draws = other.integers(0, 10, size=3)
+
+
+def sample(seed: int):
+    local = np.random.default_rng(seed)
+    return local.random(2)

@@ -1,0 +1,12 @@
+"""True positives for session-context: sessions left open without restore."""
+
+
+def leaky_weight_session(fi, faults):
+    session = fi.weight_patch_session(faults)
+    out = fi.model.forward()
+    return out  # session never restored: corrupted weights leak
+
+
+def leaky_neuron_session(fi, faults):
+    fi.neuron_injection_session(faults)  # handle dropped on the floor
+    return fi.model.forward()

@@ -1,0 +1,19 @@
+"""Clean session usage: with-managed, explicitly restored, or handed off."""
+
+
+def with_managed(fi, faults):
+    with fi.weight_patch_session(faults):
+        return fi.model.forward()
+
+
+def explicitly_restored(fi, faults):
+    session = fi.weight_patch_session(faults)
+    try:
+        return fi.model.forward()
+    finally:
+        session.restore()
+
+
+def produced_for_caller(fi, faults):
+    # Returning the session transfers the restore obligation to the caller.
+    return fi.neuron_injection_session(faults)

@@ -1,0 +1,25 @@
+"""True positives for worker-purity: unpicklable or state-reading workers."""
+
+from multiprocessing import Pool
+
+_CACHE: dict = {}
+
+
+def stateful_worker(item):
+    # Reads module-level mutable state: each worker process sees its own copy.
+    return _CACHE.get(item, item)
+
+
+def dispatch(items):
+    with Pool(2) as pool:
+        doubled = pool.map(lambda x: x * 2, items)  # lambdas don't pickle
+        cached = pool.map(stateful_worker, items)
+    return doubled, cached
+
+
+def dispatch_closure(items, scale):
+    def scaled(x):
+        return x * scale  # closure over local state: not picklable
+
+    with Pool(2) as pool:
+        return pool.map(scaled, items)

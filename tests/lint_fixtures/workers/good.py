@@ -1,0 +1,21 @@
+"""Clean pool dispatch: pure, picklable, module-level workers."""
+
+from functools import partial
+from multiprocessing import Pool
+
+SCALE = 2  # immutable module constant: safe to read from workers
+
+
+def pure_worker(item):
+    return item * SCALE
+
+
+def scaled_worker(item, scale):
+    return item * scale
+
+
+def dispatch(items):
+    with Pool(2) as pool:
+        doubled = pool.map(pure_worker, items)
+        scaled = pool.map(partial(scaled_worker, scale=3), items)
+    return doubled, scaled

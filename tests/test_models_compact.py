@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn import functional as F
 from repro.alficore import default_scenario, ptfiwrap
 from repro.data import SyntheticClassificationDataset
 from repro.models import build_model, mobilenet_lite, squeezenet_lite
 from repro.models.pretrained import fit_classifier_head
+from repro.nn import functional as F
 from repro.pytorchfi import FaultInjection
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.alficore import default_scenario, ptfiwrap
-from repro.models import lenet5
 from repro.models.pruning import prunable_weight_count, prune_by_magnitude, sparsity
 from repro.pytorchfi import FaultInjection
 

@@ -1,7 +1,6 @@
 """Tests for the permanent (stuck-at) fault model path."""
 
 import numpy as np
-import pytest
 
 from repro.alficore import default_scenario, ptfiwrap
 from repro.alficore.wrapper import _error_model_from_scenario

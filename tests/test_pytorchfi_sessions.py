@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.pytorchfi import FaultInjection, NeuronInjectionSession, WeightPatchSession
+from repro.pytorchfi import FaultInjection
 from repro.pytorchfi.core import NeuronFault, WeightFault
 from repro.tensor.bitops import float_to_bits
 
