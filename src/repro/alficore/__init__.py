@@ -51,6 +51,7 @@ from repro.alficore.layerweights import layer_weight_factors, weighted_layer_cho
 from repro.alficore.monitoring import InferenceMonitor, MonitorResult, RangeMonitor
 from repro.alficore.policies import InjectionPolicy, faults_required, fault_column_for_step
 from repro.alficore.protection import Clipper, Ranger, apply_protection, collect_activation_bounds
+from repro.alficore.resilience import ExecutionPolicy, RunManifest, ShardError, ShardSupervisor
 from repro.alficore.results import CampaignResultWriter, load_fault_file
 from repro.alficore.scenario import ScenarioConfig, default_scenario, load_scenario, save_scenario
 from repro.alficore.test_error_models_imgclass import TestErrorModels_ImgClass
@@ -66,6 +67,10 @@ __all__ = [
     "CampaignTask",
     "ClassificationTask",
     "DetectionTask",
+    "ExecutionPolicy",
+    "RunManifest",
+    "ShardError",
+    "ShardSupervisor",
     "ShardedCampaignExecutor",
     "analyze_classification_campaign",
     "analyze_detection_campaign",

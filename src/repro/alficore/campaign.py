@@ -15,13 +15,16 @@ The campaign engine is split into three layers:
   detection JSON records.  Both keep a picklable aggregate ``state`` so shard
   workers can ship partial results back to the parent process.
 * :class:`ShardedCampaignExecutor` partitions a campaign into contiguous
-  ``(epoch, fault-group, dataset-index)`` shards, runs them through a
-  ``multiprocessing`` pool (or sequentially in-process for ``workers=1``),
-  streams per-shard result files and merges shard tallies and record files
-  deterministically — the merged output is byte-identical to a single-process
-  run of the same seed, because every fault corruption is pre-drawn in the
-  fault matrix and the loader's epoch permutations depend only on
-  ``(seed, epoch)``.
+  ``(epoch, fault-group, dataset-index)`` shards and runs them through the
+  supervised scheduler in :mod:`repro.alficore.resilience` (or sequentially
+  in-process for ``workers=1``): failed, killed or hung shards are re-queued
+  by their deterministic step range with capped exponential backoff, shard
+  outputs land via atomic directory renames, and a crash-safe run manifest
+  makes interrupted campaigns resumable.  Per-shard result files are merged
+  deterministically — the merged output is byte-identical to a
+  single-process run of the same seed, because every fault corruption is
+  pre-drawn in the fault matrix and the loader's epoch permutations depend
+  only on ``(seed, epoch)``.
 
 :class:`CampaignRunner` keeps its PR-1 interface: a classification campaign
 runner with O(batch) memory whose records are *streamed* to
@@ -35,7 +38,9 @@ from __future__ import annotations
 
 import copy
 import hashlib
-import multiprocessing
+import os
+import pickle
+import shutil
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +52,12 @@ from repro.alficore._deprecation import warn_once
 from repro.alficore.goldencache import GoldenCache
 from repro.alficore.monitoring import MonitorCache, MonitorResult
 from repro.alficore.policies import InjectionPolicy
+from repro.alficore.resilience import (
+    ExecutionPolicy,
+    RunManifest,
+    ShardSupervisor,
+    atomic_write_pickle,
+)
 from repro.alficore.results import (
     CampaignResultWriter,
     ClassificationRecord,
@@ -1055,6 +1066,9 @@ class _ShardJob:
 
 def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
     """Run one shard (in a worker process or in-process) and return its state."""
+    # A fresh, unstarted task copy per attempt: an in-process retry must not
+    # inherit the partial state a failed attempt accumulated into job.task.
+    task = job.task.fresh()
     writer = (
         CampaignResultWriter(job.shard_dir, campaign_name=job.campaign_name)
         if job.shard_dir is not None
@@ -1074,7 +1088,7 @@ def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
     core = CampaignCore(
         job.model,
         job.dataset,
-        job.task,
+        task,
         scenario=job.scenario,
         writer=writer,
         error_model=job.error_model,
@@ -1086,7 +1100,7 @@ def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
         golden_cache=golden_cache,
     )
     stream_paths = core.run(start=job.start, stop=job.stop)
-    return job.index, job.task.state, stream_paths
+    return job.index, task.state, stream_paths
 
 
 class ShardedCampaignExecutor:
@@ -1101,17 +1115,41 @@ class ShardedCampaignExecutor:
     states are merged in shard order and the per-shard record files are
     concatenated byte-identically to a single-process run.
 
+    Execution is fault tolerant: shards are dispatched through a
+    :class:`~repro.alficore.resilience.ShardSupervisor`, so a worker that
+    raises, hangs past the per-shard timeout or dies (e.g. is OOM-killed) is
+    re-queued by its deterministic step range with capped exponential
+    backoff until the retry budget of the :class:`ExecutionPolicy` is
+    exhausted — at which point a structured
+    :class:`~repro.alficore.resilience.ShardError` is raised.  When a writer
+    is configured, each shard streams into a ``shard_XX.wip`` directory that
+    is atomically renamed to ``shard_XX`` on completion, and a crash-safe
+    run manifest (``<campaign>_manifest.json``) tracks completed shard
+    ranges; ``policy.resume=True`` skips the recorded shards and merges
+    byte-identically to an uninterrupted run.
+
     ``workers=1`` executes the shards sequentially in-process (no
-    subprocesses, no pickling); ``workers>1`` uses a ``multiprocessing``
-    pool.
+    subprocesses, no pickling) with the same retry budget and
+    ``ShardError`` semantics; ``workers>1`` uses supervised worker
+    processes.
 
     Args:
         core: the configured campaign (model, dataset, task, scenario...).
         workers: number of worker processes (1 = in-process execution).
         num_shards: number of shards (defaults to ``workers``).
+        policy: retry/timeout/backoff/resume configuration (defaults to
+            :class:`~repro.alficore.resilience.ExecutionPolicy`).
     """
 
-    def __init__(self, core: CampaignCore, workers: int = 1, num_shards: int | None = None):
+    SHARD_STATE_FILENAME = "shard_state.pkl"
+
+    def __init__(
+        self,
+        core: CampaignCore,
+        workers: int = 1,
+        num_shards: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.core = core
@@ -1120,6 +1158,10 @@ class ShardedCampaignExecutor:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = min(num_shards, core.total_steps)
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.policy.validate()
+        #: per-shard failure history of the last run (index -> attempts)
+        self.attempt_log: dict[int, list[dict]] = {}
 
     def shard_bounds(self) -> list[tuple[int, int]]:
         """Contiguous, balanced ``[start, stop)`` step ranges of the shards."""
@@ -1134,11 +1176,42 @@ class ShardedCampaignExecutor:
         can keep reading results from the task they configured.
         """
         core = self.core
-        if self.num_shards <= 1:
+        policy = self.policy
+        if policy.resume and core.writer is None:
+            raise ValueError(
+                "resume=True requires a result writer: the run manifest and the "
+                "per-shard record files live under the campaign output directory"
+            )
+        if self.num_shards <= 1 and not policy.resume:
             stream_paths = core.run()
             return core.task.state, stream_paths
 
         bounds = self.shard_bounds()
+        manifest: RunManifest | None = None
+        shards_root: Path | None = None
+        scratch_dir: Path | None = None
+        completed: dict[int, tuple[int, object, dict[str, str]]] = {}
+        if core.writer is not None:
+            shards_root = core.writer.output_dir / "shards"
+            manifest_path = (
+                core.writer.output_dir / f"{core.writer.campaign_name}_manifest.json"
+            )
+            config = self._manifest_config(bounds)
+            existing = RunManifest.load(manifest_path) if policy.resume else None
+            if existing is not None:
+                if not existing.matches(config):
+                    raise ValueError(
+                        f"cannot resume from {manifest_path}: it records a different "
+                        "campaign configuration (model, scenario or shard geometry "
+                        "changed); delete the manifest or re-run without resume"
+                    )
+                manifest = existing
+                completed = self._load_completed(manifest, shards_root)
+            else:
+                manifest = RunManifest.fresh(manifest_path, config)
+            self._clean_stale_wip(shards_root)
+            scratch_dir = core.writer.output_dir / ".supervisor"
+
         cache = core.golden_cache
         cache_budget = cache.byte_budget if cache is not None else None
         cache_spill_dir = None
@@ -1151,9 +1224,14 @@ class ShardedCampaignExecutor:
                 cache_spill_dir = str(core.writer.output_dir / "golden_cache")
         jobs = []
         for index, (start, stop) in enumerate(bounds):
+            if index in completed:
+                continue
             shard_dir = None
-            if core.writer is not None:
-                shard_dir = str(core.writer.output_dir / "shards" / f"shard_{index:02d}")
+            if shards_root is not None:
+                # Shards stream into a .wip directory that the finalizer
+                # renames atomically on completion: a half-written shard is
+                # never mistaken for a finished one.
+                shard_dir = str(shards_root / f"shard_{index:02d}.wip")
             jobs.append(
                 _ShardJob(
                     index=index,
@@ -1175,21 +1253,122 @@ class ShardedCampaignExecutor:
                     cache_spill_dir=cache_spill_dir,
                 )
             )
-        if self.workers == 1:
-            results = [_execute_shard(job) for job in jobs]
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-                results = pool.map(_execute_shard, jobs)
-        results.sort(key=lambda item: item[0])
 
-        merged_state = type(core.task).merge_states([state for _, state, _ in results])
+        results: dict[int, tuple[int, object, dict[str, str]]] = dict(completed)
+        if jobs:
+            supervisor = ShardSupervisor(
+                jobs,
+                _execute_shard,
+                workers=self.workers,
+                policy=policy,
+                scratch_dir=scratch_dir,
+                prepare=self._prepare_attempt,
+                finalize=self._make_finalizer(manifest, shards_root),
+            )
+            run_results = supervisor.run() if self.workers > 1 else supervisor.run_serial()
+            self.attempt_log = supervisor.attempt_log
+            for index, state, paths in run_results:
+                results[index] = (index, state, paths)
+
+        ordered = [results[index] for index in sorted(results)]
+        merged_state = type(core.task).merge_states([state for _, state, _ in ordered])
         core.task.state = merged_state
         merged_paths: dict[str, str] = {}
         if core.writer is not None:
-            merged_paths = self._merge_stream_files([paths for _, _, paths in results])
+            merged_paths = self._merge_stream_files([paths for _, _, paths in ordered])
+            if scratch_dir is not None:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
         return merged_state, merged_paths
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance plumbing
+    # ------------------------------------------------------------------ #
+    def _manifest_config(self, bounds: list[tuple[int, int]]) -> dict:
+        """Campaign configuration the manifest digest is derived from.
+
+        Execution-policy knobs (retries, timeout, resume itself) are
+        deliberately excluded: changing them between the interrupted run and
+        the resume is legitimate and must not invalidate the manifest.
+        """
+        core = self.core
+        return {
+            "campaign_name": core.writer.campaign_name if core.writer is not None else "campaign",
+            "task": type(core.task).__name__,
+            "total_steps": core.total_steps,
+            "num_shards": self.num_shards,
+            "bounds": [[start, stop] for start, stop in bounds],
+            "scenario": core.scenario.as_dict(),
+        }
+
+    @staticmethod
+    def _prepare_attempt(job: _ShardJob, attempt: int) -> None:
+        """Reset the shard's .wip directory before every (re-)attempt."""
+        if job.shard_dir is None:
+            return
+        wip = Path(job.shard_dir)
+        if wip.exists():
+            shutil.rmtree(wip)
+        wip.mkdir(parents=True, exist_ok=True)
+
+    def _make_finalizer(self, manifest: RunManifest | None, shards_root: Path | None):
+        """Parent-side success hook: commit the shard dir, update the manifest."""
+
+        def finalize(
+            job: _ShardJob, result: tuple[int, object, dict[str, str]]
+        ) -> tuple[int, object, dict[str, str]]:
+            index, state, stream_paths = result
+            if job.shard_dir is None or shards_root is None:
+                return result
+            wip = Path(job.shard_dir)
+            final = shards_root / f"shard_{index:02d}"
+            files = {tag: Path(path).name for tag, path in stream_paths.items()}
+            # The shard's merged-state payload travels with its record files
+            # so a resumed run can rebuild the full result without re-running
+            # the shard.
+            atomic_write_pickle(
+                wip / self.SHARD_STATE_FILENAME, {"state": state, "files": files}
+            )
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(wip, final)
+            new_paths = {tag: str(final / name) for tag, name in files.items()}
+            if manifest is not None:
+                manifest.mark_completed(index, job.start, job.stop)
+            return index, state, new_paths
+
+        return finalize
+
+    def _load_completed(
+        self, manifest: RunManifest, shards_root: Path
+    ) -> dict[int, tuple[int, object, dict[str, str]]]:
+        """Rebuild results of manifest-recorded shards from their directories.
+
+        A recorded shard whose directory or state pickle is missing or
+        unreadable is demoted back to pending and simply re-run — resume
+        never trusts bytes it cannot load.
+        """
+        completed: dict[int, tuple[int, object, dict[str, str]]] = {}
+        for index in manifest.completed_indices():
+            final = shards_root / f"shard_{index:02d}"
+            try:
+                with open(final / self.SHARD_STATE_FILENAME, "rb") as handle:
+                    payload = pickle.load(handle)
+                state = payload["state"]
+                files = dict(payload["files"])
+            except Exception:
+                manifest.mark_pending(index)
+                continue
+            paths = {tag: str(final / name) for tag, name in files.items()}
+            completed[index] = (index, state, paths)
+        return completed
+
+    @staticmethod
+    def _clean_stale_wip(shards_root: Path) -> None:
+        """Remove .wip leftovers of attempts killed before completion."""
+        if not shards_root.exists():
+            return
+        for leftover in shards_root.glob("shard_*.wip"):
+            shutil.rmtree(leftover, ignore_errors=True)
 
     def _merge_stream_files(self, shard_paths: list[dict[str, str]]) -> dict[str, str]:
         """Concatenate the shards' record files into the campaign directory."""

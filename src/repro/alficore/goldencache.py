@@ -186,7 +186,17 @@ class GoldenCache:
         try:
             with open(path, "rb") as handle:
                 return GoldenCacheEntry.from_state(pickle.load(handle))
-        except (OSError, pickle.UnpicklingError, EOFError, KeyError):
+        except FileNotFoundError:
+            return None  # lost a race with a concurrent re-spill
+        except Exception:
+            # A truncated or corrupt spill file (worker killed mid-write on a
+            # filesystem without atomic rename, disk full, external
+            # tampering) is a cache miss, never a crash — and it is unlinked
+            # so no later lookup trips over it again.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
 
     # ------------------------------------------------------------------ #

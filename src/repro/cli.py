@@ -35,6 +35,7 @@ from repro.experiments import (
     CachingSpec,
     ComponentSpec,
     ERROR_MODELS,
+    ExecutionSpec,
     ExperimentSpec,
     MODELS,
     PROTECTIONS,
@@ -60,6 +61,20 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for sharded campaign execution (1 = serial)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failed campaign shard before giving up",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock deadline; a hung shard is killed and retried "
+        "(workers > 1 only)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its run manifest, "
+        "re-running only the shards not yet completed",
     )
     parser.add_argument(
         "--no-prefix-reuse", action="store_true",
@@ -135,10 +150,16 @@ def _spec_from_args(args: argparse.Namespace, task: str, dataset: ComponentSpec)
         scenario=_scenario_from_args(args),
         protection=ComponentSpec(protection) if protection != "none" else None,
         backend=BackendSpec(
-            name="sharded" if args.workers > 1 else "serial", workers=args.workers
+            # --resume needs the sharded backend (the run manifest tracks
+            # shard ranges); with workers=1 it runs the shards in-process.
+            name="sharded" if (args.workers > 1 or args.resume) else "serial",
+            workers=args.workers,
         ),
         caching=CachingSpec(
             golden_cache_mb=args.golden_cache, prefix_reuse=not args.no_prefix_reuse
+        ),
+        execution=ExecutionSpec(
+            retries=args.retries, shard_timeout=args.shard_timeout, resume=args.resume
         ),
         output_dir=args.output_dir,
     )
@@ -186,6 +207,16 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         if spec.backend.name == "serial" and args.workers > 1:
             # Built-in backends switch to sharded execution; registered
             # custom backends keep their name (they own their parallelism).
+            spec.backend.name = "sharded"
+    if args.retries is not None:
+        spec.execution.retries = args.retries
+    if args.shard_timeout is not None:
+        spec.execution.shard_timeout = args.shard_timeout
+    if args.resume:
+        spec.execution.resume = True
+        if spec.backend.name == "serial":
+            # The run manifest lives in the sharded executor; with workers=1
+            # the shards still run in-process.
             spec.backend.name = "sharded"
     return _execute_spec(spec)
 
@@ -292,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument(
         "--workers", type=int, default=None, help="override the spec's backend workers"
+    )
+    run_cmd.add_argument(
+        "--retries", type=int, default=None,
+        help="override the spec's per-shard retry budget",
+    )
+    run_cmd.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the spec's per-shard wall-clock deadline",
+    )
+    run_cmd.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its run manifest",
     )
     run_cmd.set_defaults(handler=_cmd_run_spec)
 

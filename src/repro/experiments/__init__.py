@@ -51,6 +51,7 @@ from repro.experiments.spec import (
     BackendSpec,
     CachingSpec,
     ComponentSpec,
+    ExecutionSpec,
     ExperimentSpec,
     SpecError,
     load_spec,
@@ -76,6 +77,7 @@ __all__ = [
     "DetectionExperimentTask",
     "DuplicateComponentError",
     "ERROR_MODELS",
+    "ExecutionSpec",
     "Experiment",
     "ExperimentBuilder",
     "ExperimentSpec",

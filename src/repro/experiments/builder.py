@@ -23,7 +23,13 @@ from typing import Any
 
 from repro.alficore.scenario import ScenarioConfig
 from repro.experiments.result import CampaignResult
-from repro.experiments.spec import BackendSpec, CachingSpec, ComponentSpec, ExperimentSpec
+from repro.experiments.spec import (
+    BackendSpec,
+    CachingSpec,
+    ComponentSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+)
 
 
 class ExperimentBuilder:
@@ -75,6 +81,22 @@ class ExperimentBuilder:
 
     def caching(self, golden_cache_mb: int = 0, prefix_reuse: bool = True) -> "ExperimentBuilder":
         self._spec.caching = CachingSpec(int(golden_cache_mb), bool(prefix_reuse))
+        return self
+
+    def execution(
+        self,
+        retries: int = 2,
+        shard_timeout: float | None = None,
+        backoff: float = 0.5,
+        resume: bool = False,
+    ) -> "ExperimentBuilder":
+        """Fault-tolerance knobs of the sharded backend (retry/timeout/resume)."""
+        self._spec.execution = ExecutionSpec(
+            int(retries),
+            float(shard_timeout) if shard_timeout is not None else None,
+            float(backoff),
+            bool(resume),
+        )
         return self
 
     def input_shape(self, *shape: int) -> "ExperimentBuilder":

@@ -14,6 +14,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.alficore.campaign import ShardedCampaignExecutor
+from repro.alficore.resilience import ExecutionPolicy
 from repro.alficore.wrapper import _error_model_from_scenario
 from repro.experiments.registry import (
     BACKENDS,
@@ -23,7 +24,7 @@ from repro.experiments.registry import (
     PROTECTIONS,
     TASKS,
 )
-from repro.experiments.spec import BackendSpec
+from repro.experiments.spec import BackendSpec, ExecutionSpec
 from repro.experiments.tasks import ClassificationExperimentTask, DetectionExperimentTask
 
 
@@ -107,10 +108,29 @@ def _register_tasks() -> None:
 # --------------------------------------------------------------------------- #
 # backends
 # --------------------------------------------------------------------------- #
-def serial_backend(core: Any, backend: BackendSpec) -> tuple[Any, dict[str, str]]:
+def _execution_policy(execution: ExecutionSpec | None) -> ExecutionPolicy | None:
+    """Map the spec's execution section onto the executor's policy."""
+    if execution is None:
+        return None
+    return ExecutionPolicy(
+        retries=execution.retries,
+        shard_timeout=execution.shard_timeout,
+        backoff=execution.backoff,
+        resume=execution.resume,
+    )
+
+
+def serial_backend(
+    core: Any, backend: BackendSpec, execution: ExecutionSpec | None = None
+) -> tuple[Any, dict[str, str]]:
     """In-process execution; supports ``step_range`` campaign slices."""
     if backend.workers != 1:
         raise ValueError("the serial backend runs with workers=1; use backend 'sharded'")
+    if execution is not None and execution.resume:
+        raise ValueError(
+            "execution.resume requires the 'sharded' backend (the run manifest "
+            "tracks completed shard ranges)"
+        )
     if backend.step_range is not None:
         start, stop = backend.step_range
         stream_paths = core.run(start, stop)
@@ -119,12 +139,17 @@ def serial_backend(core: Any, backend: BackendSpec) -> tuple[Any, dict[str, str]
     return core.task.state, stream_paths
 
 
-def sharded_backend(core: Any, backend: BackendSpec) -> tuple[Any, dict[str, str]]:
-    """Contiguous-shard execution through :class:`ShardedCampaignExecutor`."""
+def sharded_backend(
+    core: Any, backend: BackendSpec, execution: ExecutionSpec | None = None
+) -> tuple[Any, dict[str, str]]:
+    """Supervised contiguous-shard execution via :class:`ShardedCampaignExecutor`."""
     if backend.step_range is not None:
         raise ValueError("backend 'sharded' does not support step_range; use 'serial' slices")
     executor = ShardedCampaignExecutor(
-        core, workers=backend.workers, num_shards=backend.num_shards
+        core,
+        workers=backend.workers,
+        num_shards=backend.num_shards,
+        policy=_execution_policy(execution),
     )
     return executor.run()
 

@@ -15,6 +15,7 @@ outputs.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -158,6 +159,25 @@ def _build_core(spec: ExperimentSpec, plugin: Any, artifacts: Artifacts) -> Camp
     )
 
 
+def _call_backend(
+    backend: Callable, core: CampaignCore, spec: ExperimentSpec
+) -> tuple[Any, dict[str, str]]:
+    """Invoke a backend, passing the execution section when it accepts one.
+
+    Built-in backends take ``(core, backend_spec, execution_spec)``; custom
+    backends registered before the execution section existed keep their
+    historic two-argument signature and simply run without fault-tolerance
+    knobs.
+    """
+    try:
+        parameters = inspect.signature(backend).parameters
+    except (TypeError, ValueError):
+        parameters = None
+    if parameters is not None and len(parameters) >= 3:
+        return backend(core, spec.backend, spec.execution)
+    return backend(core, spec.backend)
+
+
 def run(spec: ExperimentSpec, artifacts: Artifacts | None = None) -> CampaignResult:
     """Execute the campaign one :class:`ExperimentSpec` describes.
 
@@ -189,9 +209,15 @@ def run(spec: ExperimentSpec, artifacts: Artifacts | None = None) -> CampaignRes
             Path(spec.output_dir), campaign_name=core.scenario.model_name
         )
     backend = BACKENDS.get(spec.backend.name)
-    state, stream_paths = backend(core, spec.backend)
+    state, stream_paths = _call_backend(backend, core, spec)
+    execution_info = spec.execution.as_dict()
+    # resume is a property of *this invocation*, not of the campaign: keeping
+    # it out of the context (and hence the meta file) is what makes a resumed
+    # run's outputs byte-identical to an uninterrupted one.
+    execution_info.pop("resume", None)
     context = {
         "model_name": core.scenario.model_name,
+        "execution": execution_info,
         "num_classes": (
             artifacts.num_classes
             if artifacts.num_classes is not None

@@ -30,6 +30,11 @@ Schema (YAML)::
     caching:
       golden_cache_mb: 0
       prefix_reuse: true
+    execution:                      # fault tolerance of the campaign run
+      retries: 2                    # extra attempts per failed shard
+      shard_timeout: null           # per-shard wall-clock deadline (seconds)
+      backoff: 0.5                  # base of the capped exponential re-queue delay
+      resume: false                 # skip manifest-recorded completed shards
     input_shape: null               # per-sample shape; task default when null
     dl_shuffle: false
     output_dir: null                # directory for result files; null = no files
@@ -202,6 +207,67 @@ class CachingSpec:
             raise SpecError(f"caching.golden_cache_mb must be >= 0, got {self.golden_cache_mb}")
 
 
+def _float_field(value: object, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{where} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass
+class ExecutionSpec:
+    """Fault-tolerance knobs of the supervised campaign executor.
+
+    Maps onto :class:`repro.alficore.resilience.ExecutionPolicy`: ``retries``
+    extra attempts per failed shard, an optional per-shard wall-clock
+    ``shard_timeout`` (seconds), the base ``backoff`` of the capped
+    exponential re-queue delay, and ``resume`` to skip shards the run
+    manifest records as completed.
+    """
+
+    retries: int = 2
+    shard_timeout: float | None = None
+    backoff: float = 0.5
+    resume: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "shard_timeout": self.shard_timeout,
+            "backoff": self.backoff,
+            "resume": self.resume,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"execution must be a mapping, got {type(data).__name__}")
+        _reject_unknown(data, {"retries", "shard_timeout", "backoff", "resume"}, "execution")
+        retries = data.get("retries")
+        backoff = data.get("backoff")
+        shard_timeout = data.get("shard_timeout")
+        return cls(
+            # Explicit nulls mean "default", like everywhere else in the schema.
+            retries=_int_field(retries if retries is not None else 2, "execution.retries"),
+            shard_timeout=(
+                _float_field(shard_timeout, "execution.shard_timeout")
+                if shard_timeout is not None
+                else None
+            ),
+            backoff=_float_field(backoff if backoff is not None else 0.5, "execution.backoff"),
+            resume=bool(data.get("resume", False)),
+        )
+
+    def validate(self) -> None:
+        if self.retries < 0:
+            raise SpecError(f"execution.retries must be >= 0, got {self.retries}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise SpecError(
+                f"execution.shard_timeout must be positive, got {self.shard_timeout}"
+            )
+        if self.backoff < 0:
+            raise SpecError(f"execution.backoff must be >= 0, got {self.backoff}")
+
+
 def _plain(value: Any) -> Any:
     """Recursively convert to YAML/JSON-serialisable plain python.
 
@@ -227,6 +293,7 @@ class ExperimentSpec:
     protection: ComponentSpec | None = None
     backend: BackendSpec = field(default_factory=BackendSpec)
     caching: CachingSpec = field(default_factory=CachingSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     input_shape: tuple[int, ...] | None = None
     dl_shuffle: bool = False
     output_dir: Path | None = None
@@ -247,7 +314,18 @@ class ExperimentSpec:
             raise SpecError("experiment name must not be empty")
         self.backend.validate()
         self.caching.validate()
+        self.execution.validate()
         self.scenario.validate()
+        if self.execution.resume and self.backend.name == "serial":
+            raise SpecError(
+                "execution.resume requires the 'sharded' backend: the run "
+                "manifest tracks completed shard ranges"
+            )
+        if self.execution.resume and self.output_dir is None:
+            raise SpecError(
+                "execution.resume requires output_dir: the run manifest and "
+                "the per-shard record files live there"
+            )
         if self.input_shape is not None:
             self.input_shape = tuple(int(v) for v in self.input_shape)
             if any(v <= 0 for v in self.input_shape):
@@ -306,6 +384,7 @@ class ExperimentSpec:
             "protection": self.protection.as_dict() if self.protection is not None else None,
             "backend": self.backend.as_dict(),
             "caching": self.caching.as_dict(),
+            "execution": self.execution.as_dict(),
             "input_shape": list(self.input_shape) if self.input_shape is not None else None,
             "dl_shuffle": self.dl_shuffle,
             "output_dir": str(self.output_dir) if self.output_dir is not None else None,
@@ -361,6 +440,7 @@ class ExperimentSpec:
             ),
             backend=BackendSpec.from_dict(data.get("backend") or {}),
             caching=CachingSpec.from_dict(data.get("caching") or {}),
+            execution=ExecutionSpec.from_dict(data.get("execution") or {}),
             input_shape=input_shape,
             dl_shuffle=bool(data.get("dl_shuffle", False)),
             output_dir=Path(output_dir) if output_dir else None,
@@ -383,6 +463,7 @@ class ExperimentSpec:
             ),
             backend=dataclasses.replace(self.backend),
             caching=dataclasses.replace(self.caching),
+            execution=dataclasses.replace(self.execution),
             task_options=dict(self.task_options),
         )
         field_names = {f.name for f in dataclasses.fields(self)}

@@ -106,10 +106,13 @@ class ExperimentTask:
         """Persist the workload's result-file set; returns ``{tag: path}``."""
         if writer is None:
             return dict(stream_paths)
+        meta_extra: dict = {"model_name": context["model_name"]}
+        if context.get("execution"):
+            # Fault-tolerance knobs are run-time parameters, so they belong in
+            # the meta file (resume is deliberately absent — see the runner).
+            meta_extra["execution"] = dict(context["execution"])
         paths = {
-            "meta": str(
-                writer.write_meta(scenario, extra={"model_name": context["model_name"]})
-            ),
+            "meta": str(writer.write_meta(scenario, extra=meta_extra)),
             "faults": str(writer.write_fault_matrix(wrapper.get_fault_matrix())),
             **self.aux_outputs(writer, state, context),
             **stream_paths,

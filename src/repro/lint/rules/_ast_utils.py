@@ -32,6 +32,32 @@ def terminal_name(node: ast.AST) -> str | None:
     return None
 
 
+#: Receiver names that mark a method call as pool/executor dispatch (plain
+#: ``values.map(...)`` style calls on other objects are ignored).
+POOL_HINTS = ("pool", "executor")
+
+
+def pool_dispatch_method(call: ast.Call) -> str | None:
+    """Method name of a pool/executor dispatch call, ``None`` otherwise.
+
+    A call counts as pool dispatch when it is a method call whose receiver is
+    named like a pool (``pool.map(...)``, ``self.executor.submit(...)``) or is
+    a direct ``Pool(...)``/``...Executor(...)`` construction.
+    """
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    receiver = terminal_name(call.func.value)
+    if receiver is not None:
+        if any(hint in receiver.lower() for hint in POOL_HINTS):
+            return call.func.attr
+        return None
+    if isinstance(call.func.value, ast.Call):
+        callee = terminal_name(call.func.value.func) or ""
+        if "Pool" in callee or "Executor" in callee:
+            return call.func.attr
+    return None
+
+
 def is_set_expression(node: ast.AST) -> bool:
     """True for set displays, set comprehensions and set()/frozenset() calls."""
     if isinstance(node, (ast.Set, ast.SetComp)):

@@ -32,6 +32,7 @@ from repro.lint.rules._ast_utils import (
     assigned_names,
     dotted_name,
     function_parameters,
+    pool_dispatch_method,
     terminal_name,
 )
 
@@ -49,10 +50,6 @@ _DISPATCH_METHODS = {
     "submit",
 }
 
-#: Receiver names that mark a dispatch call as pool/executor dispatch (plain
-#: ``values.map(...)`` style calls on other objects are ignored).
-_POOL_HINTS = ("pool", "executor")
-
 _MUTABLE_FACTORY_CALLS = {
     "list",
     "dict",
@@ -65,15 +62,7 @@ _MUTABLE_FACTORY_CALLS = {
 
 
 def _is_pool_dispatch(call: ast.Call) -> bool:
-    if not isinstance(call.func, ast.Attribute) or call.func.attr not in _DISPATCH_METHODS:
-        return False
-    receiver = terminal_name(call.func.value)
-    if receiver is not None:
-        return any(hint in receiver.lower() for hint in _POOL_HINTS)
-    if isinstance(call.func.value, ast.Call):
-        callee = terminal_name(call.func.value.func) or ""
-        return "Pool" in callee or "Executor" in callee
-    return False
+    return pool_dispatch_method(call) in _DISPATCH_METHODS
 
 
 def _worker_expression(call: ast.Call) -> ast.expr | None:

@@ -1,0 +1,24 @@
+"""True positives for supervised-dispatch: fire-and-forget batch dispatch."""
+
+from multiprocessing import Pool
+
+SCALE = 2  # immutable module constant: worker-purity stays quiet
+
+
+def pure_shard_worker(job):
+    return job * SCALE
+
+
+def run_campaign(jobs):
+    # One killed or hung worker aborts the whole map: no retry, no timeout.
+    with Pool(4) as pool:
+        return pool.map(pure_shard_worker, jobs)
+
+
+def run_campaign_lazily(jobs):
+    with Pool(4) as pool:
+        return list(pool.imap_unordered(pure_shard_worker, jobs))
+
+
+def run_campaign_async(executor, jobs):
+    return executor.starmap_async(pure_shard_worker, jobs)

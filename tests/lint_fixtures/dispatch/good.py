@@ -1,0 +1,26 @@
+"""Clean shard dispatch: supervised execution instead of bare pool batches."""
+
+from repro.alficore.resilience import ExecutionPolicy, ShardSupervisor
+
+SCALE = 2
+
+
+def pure_shard_worker(job):
+    return job.index * SCALE
+
+
+def run_campaign(jobs):
+    # Supervised dispatch: per-shard timeout, retry with capped backoff and
+    # structured ShardError reporting instead of a fire-and-forget pool.map.
+    supervisor = ShardSupervisor(
+        jobs,
+        pure_shard_worker,
+        workers=4,
+        policy=ExecutionPolicy(retries=2, shard_timeout=600.0),
+    )
+    return supervisor.run()
+
+
+def run_single(pool, job):
+    # Single-job submission is the supervisor's own building block — fine.
+    return pool.apply_async(pure_shard_worker, (job,)).get()

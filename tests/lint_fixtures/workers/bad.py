@@ -12,9 +12,9 @@ def stateful_worker(item):
 
 def dispatch(items):
     with Pool(2) as pool:
-        doubled = pool.map(lambda x: x * 2, items)  # lambdas don't pickle
-        cached = pool.map(stateful_worker, items)
-    return doubled, cached
+        doubled = [pool.apply_async(lambda x: x * 2, (item,)) for item in items]
+        cached = [pool.apply_async(stateful_worker, (item,)) for item in items]
+    return [r.get() for r in doubled], [r.get() for r in cached]
 
 
 def dispatch_closure(items, scale):
@@ -22,4 +22,4 @@ def dispatch_closure(items, scale):
         return x * scale  # closure over local state: not picklable
 
     with Pool(2) as pool:
-        return pool.map(scaled, items)
+        return [pool.apply_async(scaled, (item,)).get() for item in items]

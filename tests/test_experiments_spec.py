@@ -9,6 +9,7 @@ from repro.experiments import (
     BackendSpec,
     CachingSpec,
     ComponentSpec,
+    ExecutionSpec,
     Experiment,
     ExperimentSpec,
     SPEC_SCHEMA_VERSION,
@@ -31,6 +32,7 @@ def full_spec() -> ExperimentSpec:
         protection=ComponentSpec("ranger", {"layer_types": None}),
         backend=BackendSpec("sharded", workers=2, num_shards=3),
         caching=CachingSpec(golden_cache_mb=64, prefix_reuse=False),
+        execution=ExecutionSpec(retries=1, shard_timeout=30.0, backoff=0.25, resume=False),
         input_shape=(3, 64, 64),
         dl_shuffle=True,
         output_dir=Path("out/dir"),
@@ -105,7 +107,7 @@ class TestValidation:
         with pytest.raises(SpecError, match="unknown experiment spec keys.*turbo"):
             ExperimentSpec.from_dict(data)
 
-    @pytest.mark.parametrize("section", ["model", "backend", "caching"])
+    @pytest.mark.parametrize("section", ["model", "backend", "caching", "execution"])
     def test_unknown_nested_key_rejected(self, section):
         data = full_spec().as_dict()
         data[section] = dict(data[section], bogus=1)
@@ -131,6 +133,37 @@ class TestValidation:
             ExperimentSpec(backend=BackendSpec(step_range=(4, 2))).validate()
         with pytest.raises(SpecError):
             ExperimentSpec(caching=CachingSpec(golden_cache_mb=-1)).validate()
+
+    def test_bad_execution_values_rejected(self):
+        with pytest.raises(SpecError, match="execution.retries"):
+            ExperimentSpec(execution=ExecutionSpec(retries=-1)).validate()
+        with pytest.raises(SpecError, match="execution.shard_timeout"):
+            ExperimentSpec(execution=ExecutionSpec(shard_timeout=0.0)).validate()
+        with pytest.raises(SpecError, match="execution.backoff"):
+            ExperimentSpec(execution=ExecutionSpec(backoff=-0.5)).validate()
+
+    def test_resume_requires_sharded_backend_and_output_dir(self):
+        with pytest.raises(SpecError, match="resume requires the 'sharded' backend"):
+            ExperimentSpec(execution=ExecutionSpec(resume=True)).validate()
+        with pytest.raises(SpecError, match="resume requires output_dir"):
+            ExperimentSpec(
+                backend=BackendSpec("sharded", workers=2),
+                execution=ExecutionSpec(resume=True),
+            ).validate()
+        ExperimentSpec(
+            backend=BackendSpec("sharded", workers=2),
+            execution=ExecutionSpec(resume=True),
+            output_dir=Path("out"),
+        ).validate()
+
+    def test_execution_nulls_mean_defaults(self):
+        data = full_spec().as_dict()
+        data["execution"] = {"retries": None, "shard_timeout": None, "backoff": None, "resume": None}
+        spec = ExperimentSpec.from_dict(data)
+        assert spec.execution == ExecutionSpec()
+        data["execution"] = {"backoff": "slow"}
+        with pytest.raises(SpecError, match="execution.backoff must be a number"):
+            ExperimentSpec.from_dict(data)
 
     def test_serial_backend_with_workers_rejected_at_validation(self):
         # validate and run must agree: a serial backend with workers>1 is a
@@ -218,6 +251,7 @@ class TestBuilder:
             )
             .backend("sharded", workers=2, num_shards=3)
             .caching(golden_cache_mb=64, prefix_reuse=False)
+            .execution(retries=1, shard_timeout=30.0, backoff=0.25)
             .input_shape(3, 64, 64)
             .shuffle(True)
             .output_dir("out/dir")

@@ -33,6 +33,7 @@ RULE_FIXTURES = {
     "registries": "registry-mutation",
     "facades": "deprecated-facade",
     "workers": "worker-purity",
+    "dispatch": "supervised-dispatch",
 }
 
 
