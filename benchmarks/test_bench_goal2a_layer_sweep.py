@@ -1,20 +1,23 @@
 """Experiment ``goal2a`` — Section V item 2a: iterate through single layers.
 
-Uses ``wrapper.get_scenario()`` / ``wrapper.set_scenario()`` to move the
-fault injection focus layer by layer through the CNN (the paper's layer
-sweep) and reports the per-layer SDE rate.  Early convolution layers, whose
-corrupted activations pass through the whole network, are expected to differ
-from the final fully connected layers that directly drive the output.
+Declares the paper's layer sweep as one ``sweep:`` grid over
+``scenario.layer_range`` and runs it through the sweep manager
+(:func:`repro.experiments.run_sweep`): every layer becomes one
+content-addressable grid point executed via the ordinary experiment path,
+and the per-layer SDE rates are read off the aggregated point summaries.
+Early convolution layers, whose corrupted activations pass through the
+whole network, are expected to differ from the final fully connected layers
+that directly drive the output.
 """
 
 import numpy as np
 
 from benchmarks.conftest import report
-from repro.alficore import default_scenario, ptfiwrap
 from repro.data import SyntheticClassificationDataset
-from repro.eval import sde_rate
+from repro.experiments import Artifacts, Experiment, run_sweep
 from repro.models import lenet5
 from repro.models.pretrained import fit_classifier_head
+from repro.pytorchfi import FaultInjection
 from repro.visualization import sde_per_layer_chart
 
 IMAGES = 25
@@ -23,36 +26,48 @@ IMAGES = 25
 def _run_layer_sweep() -> dict[int, dict]:
     dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=42)
     model = fit_classifier_head(lenet5(seed=4), dataset, 10)
-    scenario = default_scenario(
-        dataset_size=IMAGES,
-        injection_target="neurons",
-        rnd_value_type="bitflip",
-        rnd_bit_range=(30, 31),  # high-impact bits make per-layer differences visible
-        random_seed=55,
-        batch_size=1,
+    injector = FaultInjection(model)
+    spec = (
+        Experiment.builder()
+        .name("goal2a")
+        .model("lenet5", num_classes=10, seed=4)
+        .dataset("synthetic-classification", num_samples=IMAGES, num_classes=10, noise=0.25, seed=42)
+        .scenario(
+            dataset_size=IMAGES,
+            injection_target="neurons",
+            rnd_value_type="bitflip",
+            rnd_bit_range=(30, 31),  # high-impact bits make per-layer differences visible
+            random_seed=55,
+            batch_size=1,
+            model_name="lenet5",
+        )
+        .sweep(
+            axes={
+                "scenario.layer_range": [
+                    [layer, layer] for layer in range(injector.num_layers)
+                ]
+            }
+        )
+        .build()
     )
-    wrapper = ptfiwrap(model, scenario=scenario)
-    images = np.stack([dataset[i][0] for i in range(IMAGES)])
-    golden = model(images)
+    outcome = run_sweep(spec, Artifacts(model=model, dataset=dataset))
 
     per_layer: dict[int, dict] = {}
-    for layer in range(wrapper.fault_injection.num_layers):
-        # The paper's pattern: fetch the scenario, move the layer window,
-        # write it back; this regenerates the fault set for the new layer.
-        current = wrapper.get_scenario()
-        current.layer_range = (layer, layer)
-        wrapper.set_scenario(current)
-        fault_iter = wrapper.get_fimodel_iter()
-        corrupted_logits = []
-        for index in range(IMAGES):
-            corrupted_model = next(fault_iter)
-            corrupted_logits.append(corrupted_model(images[index : index + 1])[0])
-        rates = sde_rate(golden, np.stack(corrupted_logits))
-        layers_hit = set(np.unique(wrapper.get_fault_matrix().matrix[1, :]))
+    for point in outcome.outcomes:
+        layer = point.point.overrides["scenario.layer_range"][0]
+        result = point.load_result()
+        # The sweep must have confined every fault to the selected layer; the
+        # fault matrix row 1 records each fault's layer index.
+        layers_hit = set(np.unique(result.wrapper.get_fault_matrix().matrix[1, :]))
+        kpis = point.summary["corrupted"]
         per_layer[layer] = {
-            "rates": rates,
+            "rates": {
+                "masked": kpis["masked_rate"],
+                "sde": kpis["sde_rate"],
+                "due": kpis["due_rate"],
+            },
             "layers_hit": layers_hit,
-            "layer_name": wrapper.fault_injection.layers[layer].name,
+            "layer_name": injector.layers[layer].name,
         }
     return per_layer
 

@@ -1,18 +1,17 @@
 """Experiment ``goal2d`` — Section V item 2d: sweep the flipped bit position.
 
-Changes the bit flip position for weight faults across the whole float32
-word and measures the SDE rate per bit — verifying which bit positions of
-the numeric type are likely to produce failures.  The expected shape (also
-the paper's motivation for exponent-bit campaigns): the high exponent bits
-dominate, mantissa bits are almost always masked.
+Declares the bit-position sweep as one ``sweep:`` grid over
+``scenario.rnd_bit_range`` and runs it through the sweep manager
+(:func:`repro.experiments.run_sweep`), measuring the SDE rate per flipped
+bit of the float32 word — verifying which bit positions of the numeric type
+are likely to produce failures.  The expected shape (also the paper's
+motivation for exponent-bit campaigns): the high exponent bits dominate,
+mantissa bits are almost always masked.
 """
 
-import numpy as np
-
 from benchmarks.conftest import report
-from repro.alficore import default_scenario, ptfiwrap
+from repro.experiments import Artifacts, Experiment, run_sweep
 from repro.data import SyntheticClassificationDataset
-from repro.eval import sde_rate
 from repro.models import lenet5
 from repro.models.pretrained import fit_classifier_head
 from repro.tensor import exponent_bit_range, mantissa_bit_range
@@ -26,28 +25,28 @@ BIT_POSITIONS = (0, 5, 10, 15, 20, 22, 23, 25, 27, 29, 30, 31)
 def _run_bit_sweep() -> dict[int, float]:
     dataset = SyntheticClassificationDataset(num_samples=IMAGES, num_classes=10, noise=0.25, seed=45)
     model = fit_classifier_head(lenet5(seed=9), dataset, 10)
-    images = np.stack([dataset[i][0] for i in range(IMAGES)])
-    golden = model(images)
-    wrapper = ptfiwrap(
-        model,
-        scenario=default_scenario(
+    spec = (
+        Experiment.builder()
+        .name("goal2d")
+        .model("lenet5", num_classes=10, seed=9)
+        .dataset("synthetic-classification", num_samples=IMAGES, num_classes=10, noise=0.25, seed=45)
+        .scenario(
             dataset_size=IMAGES,
             injection_target="weights",
             rnd_value_type="bitflip",
             random_seed=99,
             batch_size=1,
-        ),
+            model_name="lenet5",
+        )
+        .sweep(axes={"scenario.rnd_bit_range": [[bit, bit] for bit in BIT_POSITIONS]})
+        .build()
     )
+    outcome = run_sweep(spec, Artifacts(model=model, dataset=dataset))
     sde_by_bit: dict[int, float] = {}
-    for bit in BIT_POSITIONS:
-        wrapper.update_scenario(rnd_bit_range=(bit, bit))
-        fault_iter = wrapper.get_fimodel_iter()
-        corrupted_logits = []
-        for index in range(IMAGES):
-            corrupted_model = next(fault_iter)
-            corrupted_logits.append(corrupted_model(images[index : index + 1])[0])
-        rates = sde_rate(golden, np.stack(corrupted_logits))
-        sde_by_bit[bit] = rates["sde"] + rates["due"]
+    for point in outcome.outcomes:
+        bit = point.point.overrides["scenario.rnd_bit_range"][0]
+        kpis = point.summary["corrupted"]
+        sde_by_bit[bit] = kpis["sde_rate"] + kpis["due_rate"]
     return sde_by_bit
 
 

@@ -1,27 +1,32 @@
-"""Iterative experiments: layer sweep and bit-position sweep (Section V-D).
+"""Iterative experiments as declarative sweep grids (Section V-D).
 
 The paper's iterative pattern — move the fault injection focus layer by
-layer (or bit by bit) and re-run — becomes a loop over declarative specs:
-each step copies the base spec with a mutated scenario (``layer_range`` or
-``rnd_bit_range``) and calls the one ``run`` entry point.  The fitted model
-and the dataset are built once and passed to every step as
-:class:`~repro.experiments.Artifacts`, so the steps only differ in their
-scenario — no wrapper plumbing, no manual reconfiguration.
+layer (or bit by bit) and re-run — used to be a hand-written loop over
+``spec.copy(scenario=...)``.  It is now one declarative ``sweep:`` grid per
+question: the builder's ``.sweep()`` declares an axis over a scenario
+field, :func:`~repro.experiments.run_sweep` expands it into concrete child
+specs, executes every point through the content-addressed campaign store
+(a re-run of this script skips all completed points) and aggregates the
+per-point KPIs into one comparison table.  The fitted model and the dataset
+are built once and shared by every point via
+:class:`~repro.experiments.Artifacts`.
 
 Run with:  python examples/layer_sweep.py
 """
 
 from __future__ import annotations
 
-from repro.experiments import Artifacts, DATASETS, Experiment, MODELS, run
+from repro.experiments import Artifacts, DATASETS, Experiment, MODELS, run_sweep
 from repro.models.pretrained import fit_classifier_head
 from repro.pytorchfi import FaultInjection
 from repro.visualization import sde_per_bit_chart, sde_per_layer_chart
 
 IMAGES = 20
+BIT_POSITIONS = (0, 10, 20, 23, 26, 28, 30, 31)
+STORE = "examples_output/layer_sweep_store"
 
 
-def base_spec():
+def base_builder():
     return (
         Experiment.builder()
         .name("layer-sweep")
@@ -35,24 +40,19 @@ def base_spec():
             model_name="alexnet",
             dataset_size=IMAGES,
         )
-        .build()
     )
 
 
-def sweep(base, artifacts, scenario_overrides_per_step: dict) -> dict[int, float]:
-    """Run one spec per step; score each step by its SDE+DUE rate."""
-    results: dict[int, float] = {}
-    for step, overrides in scenario_overrides_per_step.items():
-        spec = base.copy(scenario=base.scenario.copy(**overrides))
-        kpis = run(spec, artifacts=artifacts).summary["corrupted"]
-        results[step] = kpis["sde_rate"] + kpis["due_rate"]
-    return results
+def sde_due(outcome) -> float:
+    """Score one grid point by its SDE+DUE rate."""
+    kpis = outcome.summary["corrupted"]
+    return kpis["sde_rate"] + kpis["due_rate"]
 
 
 def main() -> None:
-    base = base_spec()
+    base = base_builder().build()
 
-    # Build the dataset and the fitted model once; every sweep step reuses
+    # Build the dataset and the fitted model once; every grid point reuses
     # them through Artifacts instead of re-resolving the registries.
     dataset = DATASETS.get(base.dataset.name)(**base.dataset.params)
     model = fit_classifier_head(MODELS.get(base.model.name)(**base.model.params), dataset, 10)
@@ -64,20 +64,44 @@ def main() -> None:
     layer_names = {info.index: info.name for info in injector.layers}
 
     # --- sweep 1: move the fault injection focus layer by layer ------------
-    per_layer = sweep(
-        base, artifacts,
-        {layer: {"layer_range": (layer, layer)} for layer in range(injector.num_layers)},
+    layer_grid = (
+        base_builder()
+        .sweep(
+            axes={
+                "scenario.layer_range": [
+                    [layer, layer] for layer in range(injector.num_layers)
+                ]
+            },
+            store=f"{STORE}/layers",
+        )
+        .build()
     )
+    layers = run_sweep(layer_grid, artifacts)
+    per_layer = {
+        outcome.point.overrides["scenario.layer_range"][0]: sde_due(outcome)
+        for outcome in layers.outcomes
+    }
     print(sde_per_layer_chart(per_layer, "SDE+DUE per injected layer (AlexNet)", layer_names))
+    print(f"layer grid: {layers.executed} executed, {layers.cached} cached")
 
     # --- sweep 2: move the flipped bit position ----------------------------
-    per_bit = sweep(
-        base, artifacts,
-        {bit: {"layer_range": None, "rnd_bit_range": (bit, bit)}
-         for bit in (0, 10, 20, 23, 26, 28, 30, 31)},
+    bit_grid = (
+        base_builder()
+        .sweep(
+            axes={"scenario.rnd_bit_range": [[bit, bit] for bit in BIT_POSITIONS]},
+            store=f"{STORE}/bits",
+        )
+        .build()
     )
+    bits = run_sweep(bit_grid, artifacts)
+    per_bit = {
+        outcome.point.overrides["scenario.rnd_bit_range"][0]: sde_due(outcome)
+        for outcome in bits.outcomes
+    }
     print()
     print(sde_per_bit_chart(per_bit, "SDE+DUE per flipped bit position (AlexNet neurons)"))
+    print(f"bit grid: {bits.executed} executed, {bits.cached} cached")
+    print(f"comparison tables under {STORE}/")
 
 
 if __name__ == "__main__":

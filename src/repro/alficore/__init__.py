@@ -45,6 +45,7 @@ from repro.alficore.campaign import (
     DetectionTask,
     ShardedCampaignExecutor,
 )
+from repro.alficore.digests import bytes_digest, config_digest, key_digest, model_fingerprint
 from repro.alficore.faultmatrix import FaultMatrix, FaultMatrixGenerator, NEURON_ROWS, WEIGHT_ROWS
 from repro.alficore.goldencache import GoldenCache, GoldenCacheEntry
 from repro.alficore.layerweights import layer_weight_factors, weighted_layer_choice
@@ -91,8 +92,12 @@ __all__ = [
     "TestErrorModels_ObjDet",
     "WEIGHT_ROWS",
     "apply_protection",
+    "bytes_digest",
     "collect_activation_bounds",
+    "config_digest",
     "default_scenario",
+    "key_digest",
+    "model_fingerprint",
     "fault_column_for_step",
     "faults_required",
     "layer_weight_factors",

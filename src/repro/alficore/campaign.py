@@ -37,7 +37,6 @@ facade over ``CampaignCore`` + ``ClassificationTask`` and gained ``workers``
 from __future__ import annotations
 
 import copy
-import hashlib
 import os
 import pickle
 import shutil
@@ -49,6 +48,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.alficore._deprecation import warn_once
+from repro.alficore.digests import bytes_digest, model_fingerprint
 from repro.alficore.goldencache import GoldenCache
 from repro.alficore.monitoring import MonitorCache, MonitorResult
 from repro.alficore.policies import InjectionPolicy
@@ -785,11 +785,7 @@ class CampaignCore:
         key = id(model)
         fingerprint = self._fingerprints.get(key)
         if fingerprint is None:
-            digest = hashlib.sha1()
-            for name, param in model.named_parameters():
-                digest.update(name.encode("utf-8"))
-                digest.update(param.data.tobytes())
-            fingerprint = digest.hexdigest()[:16]
+            fingerprint = model_fingerprint(model)
             self._fingerprints[key] = fingerprint
         return fingerprint
 
@@ -910,7 +906,7 @@ class CampaignCore:
         """
         if self.golden_cache is None:
             return (lane,) + cache_key
-        batch_digest = hashlib.sha1(np.ascontiguousarray(images).tobytes()).hexdigest()[:16]
+        batch_digest = bytes_digest(np.ascontiguousarray(images).tobytes())
         return (lane, self._model_fingerprint(model)) + cache_key + (batch_digest,)
 
     @staticmethod

@@ -22,7 +22,6 @@ dataset in different epoch ranges) can reuse each other's golden passes.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pickle
 import tempfile
@@ -30,6 +29,8 @@ from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
+
+from repro.alficore.digests import key_digest
 
 DEFAULT_BYTE_BUDGET = 256 * 2**20
 
@@ -161,8 +162,7 @@ class GoldenCache:
     # spillover
     # ------------------------------------------------------------------ #
     def _spill_path(self, key: tuple) -> Path:
-        digest = hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
-        return self.spill_dir / f"golden_{digest}.pkl"
+        return self.spill_dir / f"golden_{key_digest(key)}.pkl"
 
     def _spill(self, key: tuple, entry: GoldenCacheEntry) -> None:
         self.spill_dir.mkdir(parents=True, exist_ok=True)

@@ -37,7 +37,6 @@ needed retries is byte-identical to one that did not.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pickle
@@ -50,6 +49,8 @@ from pathlib import Path
 from typing import Any, Callable
 
 import multiprocessing
+
+from repro.alficore.digests import config_digest
 
 MANIFEST_SCHEMA_VERSION = 1
 
@@ -221,8 +222,7 @@ def _read_pickle(path: Path) -> Any:
 # --------------------------------------------------------------------------- #
 def manifest_config_digest(config: dict) -> str:
     """Stable digest of a campaign configuration (guards cross-run resume)."""
-    blob = json.dumps(config, sort_keys=True, default=str)
-    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+    return config_digest(config)
 
 
 class RunManifest:

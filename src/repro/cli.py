@@ -5,6 +5,10 @@ Exposes the declarative Experiment API as a console script (``pytorchalfi``):
 * ``pytorchalfi run <spec.yml>`` — run a campaign described by an experiment
   specification file (YAML or JSON); the one entry point every workload
   shares.
+* ``pytorchalfi sweep <spec.yml>`` — expand the spec's ``sweep:`` grid and
+  run every point through the content-addressed campaign store; completed
+  points are skipped, ``--resume`` continues an interrupted sweep, and
+  ``--dry-run`` lists the points with their run IDs without executing.
 * ``pytorchalfi validate <spec.yml ...>`` — load and validate spec files
   against the component registries (typos get did-you-mean suggestions).
 * ``pytorchalfi run-imgclass`` / ``pytorchalfi run-objdet`` — flag-driven
@@ -33,12 +37,14 @@ from repro.alficore.scenario import INJECTION_POLICIES, INJECTION_TARGETS
 from repro.experiments import (
     BackendSpec,
     CachingSpec,
+    CampaignStore,
     ComponentSpec,
     ERROR_MODELS,
     ExecutionSpec,
     ExperimentSpec,
     MODELS,
     PROTECTIONS,
+    SpecError,
     TASKS,
     run,
 )
@@ -200,6 +206,12 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     except (ValueError, KeyError, FileNotFoundError, yaml.YAMLError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if spec.sweep is not None:
+        print(
+            f"error: {args.spec} declares a sweep: section; use `pytorchalfi sweep`",
+            file=sys.stderr,
+        )
+        return 1
     if args.output_dir is not None:
         spec.output_dir = args.output_dir
     if args.workers is not None:
@@ -219,6 +231,65 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             # the shards still run in-process.
             spec.backend.name = "sharded"
     return _execute_spec(spec)
+
+
+def _load_sweep_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """Load a spec for ``pytorchalfi sweep`` and check it declares a grid."""
+    import yaml
+
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except (ValueError, KeyError, FileNotFoundError, yaml.YAMLError) as error:
+        raise SystemExit(f"error: {error}")
+    if spec.sweep is None:
+        raise SystemExit(
+            f"error: {args.spec} declares no sweep: section; use `pytorchalfi run`"
+        )
+    return spec
+
+
+def _sweep_store(args: argparse.Namespace, spec: ExperimentSpec) -> CampaignStore:
+    """Resolve the campaign-store directory (flag > spec > output_dir)."""
+    if args.store is not None:
+        return CampaignStore(args.store)
+    if spec.sweep is not None and spec.sweep.store is not None:
+        return CampaignStore(spec.sweep.store)
+    if spec.output_dir is not None:
+        return CampaignStore(Path(spec.output_dir) / "sweep_store")
+    raise SystemExit(
+        "error: no campaign store: pass --store, declare sweep.store in the "
+        "spec, or set output_dir"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import StoreError, SweepError, expand, run_sweep
+
+    spec = _load_sweep_spec(args)
+    store = _sweep_store(args, spec)
+    try:
+        if args.dry_run:
+            plan = expand(spec)
+            plan.resolve()
+            print(f"sweep {spec.name!r}: {len(plan)} points, store {store.root}")
+            for point in plan.points:
+                status = "cached" if store.lookup(point.run_id) else "pending"
+                print(f"  point {point.index:>3}  {point.run_id}  {status:8s}  {point.overrides}")
+            return 0
+        result = run_sweep(
+            spec, store=store, workers=args.workers, resume=args.resume, progress=print,
+        )
+    except (SweepError, StoreError, SpecError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print()
+    print(result.format_table())
+    print(
+        f"\nsweep complete: points={len(result)} executed={result.executed} "
+        f"cached={result.cached}"
+    )
+    _print_result_files(result.table_files)
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -337,6 +408,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted campaign from its run manifest",
     )
     run_cmd.set_defaults(handler=_cmd_run_spec)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter-grid sweep through the campaign store"
+    )
+    sweep.add_argument("spec", type=Path, help="experiment spec with a sweep: section")
+    sweep.add_argument(
+        "--store", type=Path, default=None,
+        help="campaign store directory (default: the spec's sweep.store, then "
+        "<output_dir>/sweep_store)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes per grid point (sharded execution when > 1); "
+        "does not affect run IDs, so cached points still match",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: skip store-committed points and "
+        "continue the in-flight point from its shard manifest",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="list the expanded points with run IDs and cached/pending state "
+        "without executing anything",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     validate = subparsers.add_parser("validate", help="validate experiment spec files")
     validate.add_argument("specs", type=Path, nargs="+", help="spec files to check")

@@ -14,6 +14,11 @@ campaign into one versioned, serializable :class:`ExperimentSpec`:
   :class:`Artifacts`.
 * :class:`CampaignResult` — structured result handle: summary, output-file
   map, lazy record iterators, shard ``merge()`` (:mod:`.result`).
+* :func:`run_sweep` / :func:`expand` — declarative multi-run campaigns: a
+  ``sweep:`` section on the spec expands into a deterministic grid of child
+  specs, executed through a content-addressed :class:`CampaignStore` so
+  completed points are skipped and interrupted sweeps resume
+  (:mod:`.sweep`, :mod:`.campaigns`).
 * ``register_model`` / ``register_dataset`` / ``register_error_model`` /
   ``register_protection`` / ``register_task`` / ``register_backend`` —
   central registries (:mod:`.registry`); new workloads are registrations,
@@ -25,6 +30,12 @@ that build a spec and delegate here.
 """
 
 from repro.experiments.builder import Experiment, ExperimentBuilder
+from repro.experiments.campaigns import (
+    CampaignStore,
+    StoredPoint,
+    StoreError,
+    SweepManifest,
+)
 from repro.experiments.registry import (
     BACKENDS,
     DATASETS,
@@ -54,7 +65,17 @@ from repro.experiments.spec import (
     ExecutionSpec,
     ExperimentSpec,
     SpecError,
+    SweepSpec,
     load_spec,
+)
+from repro.experiments.sweep import (
+    SweepError,
+    SweepPlan,
+    SweepPoint,
+    SweepPointOutcome,
+    SweepResult,
+    expand,
+    run_sweep,
 )
 from repro.experiments.tasks import (
     ClassificationExperimentTask,
@@ -71,6 +92,7 @@ __all__ = [
     "BackendSpec",
     "CachingSpec",
     "CampaignResult",
+    "CampaignStore",
     "ClassificationExperimentTask",
     "ComponentSpec",
     "DATASETS",
@@ -88,8 +110,18 @@ __all__ = [
     "RegistryError",
     "SPEC_SCHEMA_VERSION",
     "SpecError",
+    "StoreError",
+    "StoredPoint",
+    "SweepError",
+    "SweepManifest",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepPointOutcome",
+    "SweepResult",
+    "SweepSpec",
     "TASKS",
     "UnknownComponentError",
+    "expand",
     "load_spec",
     "register_backend",
     "register_dataset",
@@ -98,5 +130,6 @@ __all__ = [
     "register_protection",
     "register_task",
     "run",
+    "run_sweep",
     "unregister_error_model",
 ]

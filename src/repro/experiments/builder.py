@@ -29,6 +29,7 @@ from repro.experiments.spec import (
     ComponentSpec,
     ExecutionSpec,
     ExperimentSpec,
+    SweepSpec,
 )
 
 
@@ -96,6 +97,27 @@ class ExperimentBuilder:
             float(shard_timeout) if shard_timeout is not None else None,
             float(backoff),
             bool(resume),
+        )
+        return self
+
+    def sweep(
+        self,
+        axes: dict[str, list] | None = None,
+        points: list[dict] | None = None,
+        store: str | Path | None = None,
+    ) -> "ExperimentBuilder":
+        """Declare a parameter grid (see :class:`SweepSpec`).
+
+        ``axes`` maps dotted axis paths (``scenario.layer_range``,
+        ``model.params.seed``, ...) to value lists — their cartesian product
+        in declaration order — and ``points`` appends explicit extra grid
+        points.  A spec with a sweep runs through
+        :func:`repro.experiments.run_sweep` (``builder.run()`` refuses it).
+        """
+        self._spec.sweep = SweepSpec(
+            axes={path: list(values) for path, values in (axes or {}).items()},
+            points=[dict(point) for point in (points or [])],
+            store=Path(store) if store is not None else None,
         )
         return self
 

@@ -32,6 +32,7 @@ from repro.experiments.spec import (
     CachingSpec,
     ComponentSpec,
     ExperimentSpec,
+    SpecError,
 )
 
 
@@ -192,6 +193,12 @@ def run(spec: ExperimentSpec, artifacts: Artifacts | None = None) -> CampaignRes
     """
     from repro.experiments.builtins import register_builtins
 
+    if spec.sweep is not None:
+        raise SpecError(
+            "spec declares a sweep: section — run it with "
+            "repro.experiments.run_sweep(spec) or `pytorchalfi sweep <spec>`; "
+            "run() executes exactly one campaign"
+        )
     # Idempotent re-sync: pick up components added to the legacy
     # MODEL_REGISTRY/DETECTOR_REGISTRY dicts after repro.experiments was
     # first imported.

@@ -35,6 +35,14 @@ Schema (YAML)::
       shard_timeout: null           # per-shard wall-clock deadline (seconds)
       backoff: 0.5                  # base of the capped exponential re-queue delay
       resume: false                 # skip manifest-recorded completed shards
+    sweep: null                     # or a parameter grid (see SweepSpec):
+    #   schema_version: 1
+    #   axes:                       # cartesian product, declaration order
+    #     scenario.layer_range: [[0, 0], [1, 1], [2, 2]]
+    #     scenario.rnd_bit_range: [[23, 23], [30, 30]]
+    #   points:                     # explicit extra grid points
+    #     - {scenario.rnd_bit_range: [0, 0]}
+    #   store: sweep_store          # campaign store directory (run_id-addressed)
     input_shape: null               # per-sample shape; task default when null
     dl_shuffle: false
     output_dir: null                # directory for result files; null = no files
@@ -44,6 +52,7 @@ Schema (YAML)::
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -268,6 +277,163 @@ class ExecutionSpec:
             raise SpecError(f"execution.backoff must be >= 0, got {self.backoff}")
 
 
+SWEEP_SCHEMA_VERSION = 1
+
+#: sweep-axis grammar: dotted paths into the experiment spec.  ``<key>`` is
+#: free-form (params/task_options accept arbitrary keys); ``scenario.<field>``
+#: is validated against the ScenarioConfig fields.
+SWEEP_AXIS_FORMS = (
+    "task",
+    "model.name",
+    "model.params.<key>",
+    "dataset.name",
+    "dataset.params.<key>",
+    "protection",
+    "protection.name",
+    "protection.params.<key>",
+    "scenario.<field>",
+    "task_options.<key>",
+    "input_shape",
+    "dl_shuffle",
+)
+
+
+def _scenario_field_names() -> list[str]:
+    return [f.name for f in dataclasses.fields(ScenarioConfig)]
+
+
+def _axis_error(path: str, detail: str) -> SpecError:
+    """A sweep-axis error with a did-you-mean suggestion."""
+    candidates = (
+        ["task", "model.name", "dataset.name", "protection", "protection.name",
+         "input_shape", "dl_shuffle"]
+        + [f"scenario.{name}" for name in _scenario_field_names()]
+    )
+    suggestions = difflib.get_close_matches(path, candidates, n=3, cutoff=0.5)
+    message = f"invalid sweep axis {path!r}: {detail}"
+    if suggestions:
+        message += f"; did you mean {', '.join(repr(s) for s in suggestions)}?"
+    message += f" (axis forms: {', '.join(SWEEP_AXIS_FORMS)})"
+    return SpecError(message)
+
+
+def validate_sweep_axis(path: str) -> None:
+    """Check one sweep-axis path against the axis grammar.
+
+    Raises :class:`SpecError` with a did-you-mean suggestion for typos —
+    ``scenario.<field>`` names are validated against the actual
+    :class:`ScenarioConfig` fields, the component roots against the spec
+    structure.
+    """
+    if not isinstance(path, str) or not path:
+        raise SpecError(f"sweep axis must be a non-empty string, got {path!r}")
+    parts = path.split(".")
+    root, rest = parts[0], parts[1:]
+    if root in ("task", "input_shape", "dl_shuffle"):
+        if rest:
+            raise _axis_error(path, f"{root!r} takes no sub-path")
+        return
+    if root in ("model", "dataset", "protection"):
+        if not rest:
+            if root == "protection":
+                return  # whole-component axis: null / name / {name, params}
+            raise _axis_error(path, f"pick {root}.name or {root}.params.<key>")
+        if rest[0] == "name" and len(rest) == 1:
+            return
+        if rest[0] == "params" and len(rest) == 2:
+            return
+        raise _axis_error(path, f"pick {root}.name or {root}.params.<key>")
+    if root == "scenario":
+        known = _scenario_field_names()
+        if len(rest) == 1 and rest[0] in known:
+            return
+        detail = (
+            f"unknown scenario field {rest[0]!r}" if len(rest) == 1
+            else "pick exactly one scenario field"
+        )
+        raise _axis_error(path, detail)
+    if root == "task_options":
+        if len(rest) == 1 and rest[0]:
+            return
+        raise _axis_error(path, "pick task_options.<key>")
+    raise _axis_error(path, f"unknown axis root {root!r}")
+
+
+@dataclass
+class SweepSpec:
+    """A declarative parameter grid over experiment-spec fields.
+
+    ``axes`` maps dotted axis paths (see :data:`SWEEP_AXIS_FORMS`) to their
+    value lists; the grid is their cartesian product in *declaration order*
+    (the last declared axis varies fastest).  ``points`` appends explicit
+    grid points — mappings of axis paths to values — after the product, for
+    the odd extra configurations a product cannot express.  ``store`` names
+    the campaign-store directory holding the content-addressed per-point
+    results (``<store>/<run_id>/``).
+    """
+
+    axes: dict[str, list] = field(default_factory=dict)
+    points: list[dict] = field(default_factory=list)
+    store: Path | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "axes": {path: _plain(list(values)) for path, values in self.axes.items()},
+            "points": [_plain(dict(point)) for point in self.points],
+            "store": str(self.store) if self.store is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"sweep must be a mapping, got {type(data).__name__}")
+        try:
+            coerce_schema_version(data.get("schema_version"), SWEEP_SCHEMA_VERSION, "sweep")
+        except ValueError as error:
+            raise SpecError(str(error)) from None
+        _reject_unknown(data, {"schema_version", "axes", "points", "store"}, "sweep")
+        axes = data.get("axes") or {}
+        if not isinstance(axes, dict):
+            raise SpecError(f"sweep.axes must be a mapping, got {type(axes).__name__}")
+        points = data.get("points") or []
+        if not isinstance(points, list):
+            raise SpecError(f"sweep.points must be a list, got {type(points).__name__}")
+        for point in points:
+            if not isinstance(point, dict):
+                raise SpecError(
+                    f"sweep.points entries must be mappings, got {type(point).__name__}"
+                )
+        store = data.get("store")
+        return cls(
+            axes={str(path): list(values) for path, values in axes.items()},
+            points=[dict(point) for point in points],
+            store=Path(store) if store else None,
+        )
+
+    def validate(self) -> None:
+        if not self.axes and not self.points:
+            raise SpecError("sweep declares neither axes nor points")
+        for path, values in self.axes.items():
+            validate_sweep_axis(path)
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SpecError(
+                    f"sweep axis {path!r} needs a non-empty list of values, got {values!r}"
+                )
+        for point in self.points:
+            if not point:
+                raise SpecError("sweep.points entries must not be empty")
+            for path in point:
+                validate_sweep_axis(path)
+
+    def copy(self) -> "SweepSpec":
+        return SweepSpec(
+            axes={path: list(values) for path, values in self.axes.items()},
+            points=[dict(point) for point in self.points],
+            store=self.store,
+        )
+
+
 def _plain(value: Any) -> Any:
     """Recursively convert to YAML/JSON-serialisable plain python.
 
@@ -294,6 +460,7 @@ class ExperimentSpec:
     backend: BackendSpec = field(default_factory=BackendSpec)
     caching: CachingSpec = field(default_factory=CachingSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    sweep: SweepSpec | None = None
     input_shape: tuple[int, ...] | None = None
     dl_shuffle: bool = False
     output_dir: Path | None = None
@@ -316,6 +483,8 @@ class ExperimentSpec:
         self.caching.validate()
         self.execution.validate()
         self.scenario.validate()
+        if self.sweep is not None:
+            self.sweep.validate()
         if self.execution.resume and self.backend.name == "serial":
             raise SpecError(
                 "execution.resume requires the 'sharded' backend: the run "
@@ -385,6 +554,7 @@ class ExperimentSpec:
             "backend": self.backend.as_dict(),
             "caching": self.caching.as_dict(),
             "execution": self.execution.as_dict(),
+            "sweep": self.sweep.as_dict() if self.sweep is not None else None,
             "input_shape": list(self.input_shape) if self.input_shape is not None else None,
             "dl_shuffle": self.dl_shuffle,
             "output_dir": str(self.output_dir) if self.output_dir is not None else None,
@@ -441,6 +611,11 @@ class ExperimentSpec:
             backend=BackendSpec.from_dict(data.get("backend") or {}),
             caching=CachingSpec.from_dict(data.get("caching") or {}),
             execution=ExecutionSpec.from_dict(data.get("execution") or {}),
+            sweep=(
+                SweepSpec.from_dict(data["sweep"])
+                if data.get("sweep") is not None
+                else None
+            ),
             input_shape=input_shape,
             dl_shuffle=bool(data.get("dl_shuffle", False)),
             output_dir=Path(output_dir) if output_dir else None,
@@ -464,6 +639,7 @@ class ExperimentSpec:
             backend=dataclasses.replace(self.backend),
             caching=dataclasses.replace(self.caching),
             execution=dataclasses.replace(self.execution),
+            sweep=self.sweep.copy() if self.sweep is not None else None,
             task_options=dict(self.task_options),
         )
         field_names = {f.name for f in dataclasses.fields(self)}

@@ -309,3 +309,69 @@ class TestObjDetCommand:
             ]
         )
         assert exit_code == 0
+
+
+class TestSweepCommand:
+    def _write_sweep_spec(self, tmp_path, store=None):
+        from repro.experiments import Experiment
+
+        builder = (
+            Experiment.builder()
+            .name("cli-sweep")
+            .model("lenet5", num_classes=10, seed=0)
+            .dataset("synthetic-classification", num_samples=6, num_classes=10,
+                     noise=0.25, seed=1)
+            .scenario(injection_target="weights", rnd_bit_range=(23, 30),
+                      random_seed=3, model_name="lenet5", dataset_size=6)
+            .sweep(axes={"scenario.layer_range": [[0, 0], [1, 1]]}, store=store)
+        )
+        return builder.build().save(tmp_path / "sweep.yml")
+
+    def test_dry_run_lists_points_without_executing(self, tmp_path, capsys):
+        path = self._write_sweep_spec(tmp_path, store=tmp_path / "store")
+        assert main(["sweep", str(path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert out.count("pending") == 2
+        assert not (tmp_path / "store").exists()  # dry run touches nothing
+
+    def test_end_to_end_skip_on_second_invocation(self, tmp_path, capsys):
+        path = self._write_sweep_spec(tmp_path, store=tmp_path / "store")
+        assert main(["sweep", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed=2" in out and "cached=0" in out
+        assert (tmp_path / "store" / "cli-sweep_sweep_table.csv").exists()
+
+        assert main(["sweep", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed=0" in out and "cached=2" in out
+
+    def test_store_flag_overrides_spec(self, tmp_path, capsys):
+        path = self._write_sweep_spec(tmp_path, store=tmp_path / "declared")
+        assert main(["sweep", str(path), "--store", str(tmp_path / "flag")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "flag").is_dir()
+        assert not (tmp_path / "declared").exists()
+
+    def test_sweep_without_section_fails_cleanly(self, tmp_path):
+        from repro.experiments import Experiment
+
+        spec = (
+            Experiment.builder()
+            .name("plain")
+            .scenario(model_name="lenet5")
+            .build()
+        )
+        path = spec.save(tmp_path / "plain.yml")
+        with pytest.raises(SystemExit, match="no sweep: section"):
+            main(["sweep", str(path)])
+
+    def test_sweep_without_store_fails_cleanly(self, tmp_path):
+        path = self._write_sweep_spec(tmp_path, store=None)
+        with pytest.raises(SystemExit, match="no campaign store"):
+            main(["sweep", str(path)])
+
+    def test_run_redirects_sweep_specs(self, tmp_path, capsys):
+        path = self._write_sweep_spec(tmp_path, store=tmp_path / "store")
+        assert main(["run", str(path)]) == 1
+        assert "pytorchalfi sweep" in capsys.readouterr().err

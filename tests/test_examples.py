@@ -47,6 +47,23 @@ class TestExamples:
         output = run_example("layer_sweep.py", tmp_path, monkeypatch, capsys)
         assert "SDE+DUE per injected layer" in output
         assert "SDE+DUE per flipped bit position" in output
+        # First run: every grid point executes through the campaign store.
+        assert "layer grid: 8 executed, 0 cached" in output
+        assert (
+            tmp_path / "examples_output" / "layer_sweep_store" / "bits"
+            / "layer-sweep_sweep_table.csv"
+        ).exists()
+
+    def test_layer_sweep_spec_file_expands(self):
+        """The checked-in sweep spec declares the grid the example runs."""
+        from repro.experiments import ExperimentSpec, expand
+
+        spec = ExperimentSpec.load(EXAMPLES_DIR / "specs" / "layer_sweep.yml")
+        assert spec.sweep is not None
+        plan = expand(spec)
+        assert len(plan) == 6  # 5 layer points + 1 explicit bit point
+        assert plan.points[0].spec.scenario.layer_range == (0, 0)
+        assert plan.points[5].overrides["scenario.rnd_bit_range"] == [30, 30]
 
     @pytest.mark.slow
     def test_classification_campaign(self, tmp_path, monkeypatch, capsys):
