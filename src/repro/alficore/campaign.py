@@ -582,6 +582,10 @@ class CampaignCore:
             (and resil-golden) passes are computed once per batch of images
             instead of once per epoch, and their boundary checkpoints are
             reused by later epochs' suffix-only faulty lanes.
+        executor: forward-plan execution backend (``"module"``,
+            ``"interpreter"``, ``"fused"``, or any name registered via
+            :func:`repro.nn.ir.register_executor`).  Validated bit-exactly at
+            trace time with silent fallback to the module path.
     """
 
     def __init__(
@@ -600,6 +604,7 @@ class CampaignCore:
         resil_wrapper: ptfiwrap | None = None,
         prefix_reuse: bool = True,
         golden_cache: GoldenCache | None = None,
+        executor: str = "interpreter",
     ):
         if dataset is None or len(dataset) == 0:
             raise ValueError("a non-empty dataset is required to run a campaign")
@@ -628,6 +633,10 @@ class CampaignCore:
         self.resil_wrapper = resil_wrapper
         self._monitors = MonitorCache(self.custom_monitors)
         self.prefix_reuse = prefix_reuse
+        # Plan execution backend (repro.nn.ir registry).  Trace-time
+        # validation falls back to the module path on any bitwise mismatch,
+        # so an exotic executor name can never change campaign results.
+        self.executor = executor
         if (
             golden_cache is not None
             and self.scenario.num_runs <= 1
@@ -761,7 +770,7 @@ class CampaignCore:
         key = id(model)
         if key not in self._plans:
             try:
-                plan = ForwardPlan.trace(model, images)
+                plan = ForwardPlan.trace(model, images, executor=self.executor)
             except Exception:
                 plan = None
             self._plans[key] = plan if plan is not None and plan.valid else None
@@ -1058,6 +1067,7 @@ class _ShardJob:
     prefix_reuse: bool = True
     cache_budget: int | None = None
     cache_spill_dir: str | None = None
+    executor: str = "interpreter"
 
 
 def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
@@ -1094,6 +1104,7 @@ def _execute_shard(job: _ShardJob) -> tuple[int, object, dict[str, str]]:
         wrapper=wrapper,
         prefix_reuse=job.prefix_reuse,
         golden_cache=golden_cache,
+        executor=job.executor,
     )
     stream_paths = core.run(start=job.start, stop=job.stop)
     return job.index, task.state, stream_paths
@@ -1247,6 +1258,7 @@ class ShardedCampaignExecutor:
                     prefix_reuse=core.prefix_reuse,
                     cache_budget=cache_budget,
                     cache_spill_dir=cache_spill_dir,
+                    executor=core.executor,
                 )
             )
 

@@ -64,6 +64,7 @@ class GoldenCacheEntry:
         return _value_nbytes(self.output) + _value_nbytes(self.boundaries)
 
     def as_state(self) -> dict:
+        """Picklable plain-dict form (inverse of :meth:`from_state`)."""
         return {
             "output": self.output,
             "boundaries": self.boundaries,
@@ -74,6 +75,7 @@ class GoldenCacheEntry:
 
     @classmethod
     def from_state(cls, state: dict) -> "GoldenCacheEntry":
+        """Rebuild an entry from :meth:`as_state` output."""
         return cls(
             state["output"], state["boundaries"], state["marks"],
             state["events"], state["batch_shape"],

@@ -153,6 +153,11 @@ class InferenceMonitor:
                         self._current.custom_events.append(dict(event))
             return None
 
+        # Plan executors (repro.nn.ir.module_blocked) may bypass a module
+        # call only while every forward hook is transparent.  A disabled
+        # monitor hook reads nothing and never alters the output, so fused
+        # execution stays legal outside monitored passes.
+        hook.plan_transparent = lambda: not self.enabled
         return hook
 
     def __enter__(self) -> "InferenceMonitor":

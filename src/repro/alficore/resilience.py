@@ -289,6 +289,7 @@ class RunManifest:
         return sorted(self.completed)
 
     def is_completed(self, index: int) -> bool:
+        """True if ``shard_id`` is recorded as completed."""
         return index in self.completed
 
     def mark_completed(self, index: int, start: int, stop: int) -> None:

@@ -1,0 +1,42 @@
+"""Documentation tooling: API-reference generation and docstring coverage.
+
+The repository's documentation lives in ``docs/``:
+
+* hand-written guides (``docs/architecture.md``, ``docs/ir.md``);
+* a generated, checked-in API reference (``docs/api/*.md``).
+
+This package is the generator.  It is dependency-free (pure stdlib
+introspection) so the docs build runs anywhere the library itself runs —
+no pdoc/mkdocs install required — while ``mkdocs.yml`` is still checked in
+for rendering the same tree to HTML where mkdocs is available.
+
+Command line (see ``python -m repro.docs --help``)::
+
+    python -m repro.docs build            # regenerate docs/api/
+    python -m repro.docs build --check    # CI: fail if checked-in files drift
+    python -m repro.docs coverage         # docstring coverage report
+    python -m repro.docs coverage --fail-under 100
+
+Generation is deterministic (stable member ordering, no timestamps), so
+``build --check`` doubles as a reproducibility test of the docs themselves.
+"""
+
+from repro.docs.apigen import (
+    API_MODULES,
+    COVERAGE_MODULES,
+    ModuleCoverage,
+    build_api_reference,
+    check_api_reference,
+    docstring_coverage,
+    render_module,
+)
+
+__all__ = [
+    "API_MODULES",
+    "COVERAGE_MODULES",
+    "ModuleCoverage",
+    "build_api_reference",
+    "check_api_reference",
+    "docstring_coverage",
+    "render_module",
+]

@@ -40,18 +40,22 @@ class ExperimentBuilder:
         self._spec = ExperimentSpec()
 
     def name(self, name: str) -> "ExperimentBuilder":
+        """Set the experiment name (used in result file names)."""
         self._spec.name = str(name)
         return self
 
     def task(self, name: str) -> "ExperimentBuilder":
+        """Select the task plugin (``"classification"``, ``"detection"``, ...)."""
         self._spec.task = str(name)
         return self
 
     def model(self, name: str, **params: Any) -> "ExperimentBuilder":
+        """Select the model component and its constructor params."""
         self._spec.model = ComponentSpec(str(name), dict(params))
         return self
 
     def dataset(self, name: str, **params: Any) -> "ExperimentBuilder":
+        """Select the dataset component and its constructor params."""
         self._spec.dataset = ComponentSpec(str(name), dict(params))
         return self
 
@@ -67,6 +71,7 @@ class ExperimentBuilder:
         return self
 
     def protection(self, name: str | None, **params: Any) -> "ExperimentBuilder":
+        """Select a protection mechanism (``None`` removes it)."""
         self._spec.protection = ComponentSpec(str(name), dict(params)) if name else None
         return self
 
@@ -77,10 +82,12 @@ class ExperimentBuilder:
         num_shards: int | None = None,
         step_range: tuple[int, int] | None = None,
     ) -> "ExperimentBuilder":
+        """Select the execution backend (``"serial"`` or ``"sharded"``)."""
         self._spec.backend = BackendSpec(str(name), int(workers), num_shards, step_range)
         return self
 
     def caching(self, golden_cache_mb: int = 0, prefix_reuse: bool = True) -> "ExperimentBuilder":
+        """Golden-cache budget (MiB) and prefix-reuse toggle."""
         self._spec.caching = CachingSpec(int(golden_cache_mb), bool(prefix_reuse))
         return self
 
@@ -90,13 +97,20 @@ class ExperimentBuilder:
         shard_timeout: float | None = None,
         backoff: float = 0.5,
         resume: bool = False,
+        executor: str = "interpreter",
     ) -> "ExperimentBuilder":
-        """Fault-tolerance knobs of the sharded backend (retry/timeout/resume)."""
+        """Execution knobs: fault tolerance (retry/timeout/resume) + executor.
+
+        ``executor`` selects the forward-plan execution backend
+        (``"interpreter"`` by default; ``"fused"`` enables op fusion with
+        planned buffer reuse, see :mod:`repro.nn.fuse`).
+        """
         self._spec.execution = ExecutionSpec(
             int(retries),
             float(shard_timeout) if shard_timeout is not None else None,
             float(backoff),
             bool(resume),
+            str(executor),
         )
         return self
 
@@ -122,18 +136,22 @@ class ExperimentBuilder:
         return self
 
     def input_shape(self, *shape: int) -> "ExperimentBuilder":
+        """Per-sample input shape (e.g. ``input_shape(3, 32, 32)``)."""
         self._spec.input_shape = tuple(int(v) for v in shape) if shape else None
         return self
 
     def shuffle(self, dl_shuffle: bool = True) -> "ExperimentBuilder":
+        """Toggle dataloader shuffling."""
         self._spec.dl_shuffle = bool(dl_shuffle)
         return self
 
     def output_dir(self, path: str | Path | None) -> "ExperimentBuilder":
+        """Directory for result files (``None`` keeps results in memory)."""
         self._spec.output_dir = Path(path) if path is not None else None
         return self
 
     def options(self, **task_options: Any) -> "ExperimentBuilder":
+        """Merge task-specific options into ``task_options``."""
         self._spec.task_options.update(task_options)
         return self
 

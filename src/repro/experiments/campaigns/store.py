@@ -100,6 +100,7 @@ class StoredPoint:
 
     @property
     def summary(self) -> dict:
+        """The point's persisted KPI summary (parsed lazily from disk)."""
         return dict(self.document.get("summary") or {})
 
     @property
@@ -162,12 +163,15 @@ class CampaignStore:
     # paths
     # ------------------------------------------------------------------ #
     def point_dir(self, run_id: str) -> Path:
+        """Directory of one stored grid point (keyed by its content digest)."""
         return self.root / run_id
 
     def wip_dir(self, run_id: str) -> Path:
+        """Scratch directory a point writes into before its atomic publish."""
         return self.root / f"{run_id}.wip"
 
     def manifest_path(self) -> Path:
+        """Path of the sweep's crash-safe resume manifest."""
         return self.root / "sweep_manifest.json"
 
     # ------------------------------------------------------------------ #
@@ -333,6 +337,7 @@ class SweepManifest:
 
     @classmethod
     def fresh(cls, path: str | Path, config: dict) -> "SweepManifest":
+        """A new manifest for ``digest`` with no completed points."""
         manifest = cls(path, config)
         manifest.save()
         return manifest
@@ -356,21 +361,26 @@ class SweepManifest:
             return None
 
     def matches(self, config: dict) -> bool:
+        """True if this manifest belongs to the sweep with ``digest``."""
         return self.digest == config_digest(config)
 
     def is_completed(self, index: int) -> bool:
+        """True if ``point_digest`` is recorded as completed."""
         return index in self.completed
 
     def mark_completed(self, index: int, run_id: str, *, cached: bool) -> None:
+        """Record ``point_digest`` as completed (idempotent)."""
         self.completed[index] = {"run_id": run_id, "cached": cached}
         self.save()
 
     def mark_pending(self, index: int) -> None:
+        """Drop ``point_digest`` from the completed set (for re-execution)."""
         if index in self.completed:
             del self.completed[index]
             self.save()
 
     def save(self) -> None:
+        """Atomically persist the manifest (write + rename)."""
         atomic_replace_json(
             self.path,
             {

@@ -157,6 +157,7 @@ def _build_core(spec: ExperimentSpec, plugin: Any, artifacts: Artifacts) -> Camp
         wrapper=wrapper,
         prefix_reuse=spec.caching.prefix_reuse,
         golden_cache=golden_cache,
+        executor=spec.execution.executor,
     )
 
 

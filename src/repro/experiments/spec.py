@@ -95,10 +95,12 @@ class ComponentSpec:
     params: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {"name": self.name, "params": _plain(self.params)}
 
     @classmethod
     def from_dict(cls, data: dict | str, where: str) -> "ComponentSpec":
+        """Parse from a plain mapping, rejecting unknown keys and bad types."""
         if isinstance(data, str):
             return cls(name=data)
         if not isinstance(data, dict):
@@ -122,6 +124,7 @@ class BackendSpec:
     step_range: tuple[int, int] | None = None
 
     def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {
             "name": self.name,
             "workers": self.workers,
@@ -131,6 +134,7 @@ class BackendSpec:
 
     @classmethod
     def from_dict(cls, data: dict | str) -> "BackendSpec":
+        """Parse from a plain mapping, rejecting unknown keys and bad types."""
         if isinstance(data, str):
             return cls(name=data)
         if not isinstance(data, dict):
@@ -159,6 +163,7 @@ class BackendSpec:
         )
 
     def validate(self) -> None:
+        """Raise :class:`SpecError` on invalid field values or combinations."""
         if self.workers < 1:
             raise SpecError(f"backend.workers must be >= 1, got {self.workers}")
         if self.name == "serial" and self.workers != 1:
@@ -192,10 +197,12 @@ class CachingSpec:
     prefix_reuse: bool = True
 
     def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {"golden_cache_mb": self.golden_cache_mb, "prefix_reuse": self.prefix_reuse}
 
     @classmethod
     def from_dict(cls, data: dict) -> "CachingSpec":
+        """Parse from a plain mapping, rejecting unknown keys and bad types."""
         if not isinstance(data, dict):
             raise SpecError(f"caching must be a mapping, got {type(data).__name__}")
         _reject_unknown(data, {"golden_cache_mb", "prefix_reuse"}, "caching")
@@ -212,6 +219,7 @@ class CachingSpec:
         )
 
     def validate(self) -> None:
+        """Raise :class:`SpecError` on invalid field values or combinations."""
         if self.golden_cache_mb < 0:
             raise SpecError(f"caching.golden_cache_mb must be >= 0, got {self.golden_cache_mb}")
 
@@ -230,30 +238,41 @@ class ExecutionSpec:
     extra attempts per failed shard, an optional per-shard wall-clock
     ``shard_timeout`` (seconds), the base ``backoff`` of the capped
     exponential re-queue delay, and ``resume`` to skip shards the run
-    manifest records as completed.
+    manifest records as completed.  ``executor`` selects the forward-plan
+    execution backend (:func:`repro.nn.ir.register_executor` registry:
+    ``"module"``, ``"interpreter"``, ``"fused"``); it is validated bit-exactly
+    at plan-trace time with silent fallback to the module path, so the knob
+    can change speed but never results.
     """
 
     retries: int = 2
     shard_timeout: float | None = None
     backoff: float = 0.5
     resume: bool = False
+    executor: str = "interpreter"
 
     def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {
             "retries": self.retries,
             "shard_timeout": self.shard_timeout,
             "backoff": self.backoff,
             "resume": self.resume,
+            "executor": self.executor,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionSpec":
+        """Parse from a plain mapping, rejecting unknown keys and bad types."""
         if not isinstance(data, dict):
             raise SpecError(f"execution must be a mapping, got {type(data).__name__}")
-        _reject_unknown(data, {"retries", "shard_timeout", "backoff", "resume"}, "execution")
+        _reject_unknown(
+            data, {"retries", "shard_timeout", "backoff", "resume", "executor"}, "execution"
+        )
         retries = data.get("retries")
         backoff = data.get("backoff")
         shard_timeout = data.get("shard_timeout")
+        executor = data.get("executor")
         return cls(
             # Explicit nulls mean "default", like everywhere else in the schema.
             retries=_int_field(retries if retries is not None else 2, "execution.retries"),
@@ -264,9 +283,11 @@ class ExecutionSpec:
             ),
             backoff=_float_field(backoff if backoff is not None else 0.5, "execution.backoff"),
             resume=bool(data.get("resume", False)),
+            executor=str(executor) if executor is not None else "interpreter",
         )
 
     def validate(self) -> None:
+        """Raise :class:`SpecError` on invalid field values or combinations."""
         if self.retries < 0:
             raise SpecError(f"execution.retries must be >= 0, got {self.retries}")
         if self.shard_timeout is not None and self.shard_timeout <= 0:
@@ -275,6 +296,13 @@ class ExecutionSpec:
             )
         if self.backoff < 0:
             raise SpecError(f"execution.backoff must be >= 0, got {self.backoff}")
+        from repro.nn.ir import executor_names
+
+        known = executor_names()
+        if self.executor not in known:
+            raise SpecError(
+                f"execution.executor must be one of {known}, got {self.executor!r}"
+            )
 
 
 SWEEP_SCHEMA_VERSION = 1
@@ -377,6 +405,7 @@ class SweepSpec:
     store: Path | None = None
 
     def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {
             "schema_version": SWEEP_SCHEMA_VERSION,
             "axes": {path: _plain(list(values)) for path, values in self.axes.items()},
@@ -386,6 +415,7 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
+        """Parse from a plain mapping, rejecting unknown keys and bad types."""
         if not isinstance(data, dict):
             raise SpecError(f"sweep must be a mapping, got {type(data).__name__}")
         try:
@@ -412,6 +442,7 @@ class SweepSpec:
         )
 
     def validate(self) -> None:
+        """Raise :class:`SpecError` on invalid field values or combinations."""
         if not self.axes and not self.points:
             raise SpecError("sweep declares neither axes nor points")
         for path, values in self.axes.items():
@@ -427,6 +458,7 @@ class SweepSpec:
                 validate_sweep_axis(path)
 
     def copy(self) -> "SweepSpec":
+        """Deep-enough copy: axes/points lists are duplicated."""
         return SweepSpec(
             axes={path: list(values) for path, values in self.axes.items()},
             points=[dict(point) for point in self.points],

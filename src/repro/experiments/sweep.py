@@ -300,6 +300,7 @@ class SweepResult:
     # aggregation
     # ------------------------------------------------------------------ #
     def table_columns(self) -> list[str]:
+        """Union of per-point summary keys, in first-appearance order."""
         kpi_columns: set[str] = set()
         for outcome in self.outcomes:
             kpi_columns.update(_flatten_summary(outcome.summary))

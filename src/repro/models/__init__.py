@@ -32,11 +32,19 @@ from repro.models.classification import (
     vgg11,
     vgg16,
 )
-from repro.models.compact import MobileNetLite, SqueezeNetLite, mobilenet_lite, squeezenet_lite
+from repro.models.compact import (
+    ElemNet,
+    MobileNetLite,
+    SqueezeNetLite,
+    elemnet,
+    mobilenet_lite,
+    squeezenet_lite,
+)
 
 __all__ = [
     "MODEL_REGISTRY",
     "AlexNet",
+    "ElemNet",
     "LeNet5",
     "MLP",
     "MobileNetLite",
@@ -45,6 +53,7 @@ __all__ = [
     "VGG",
     "alexnet",
     "build_model",
+    "elemnet",
     "lenet5",
     "mlp",
     "mobilenet_lite",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn.ir import make_executor
 from repro.nn.module import Module
 
 
@@ -120,23 +121,47 @@ class ForwardPlan:
     prefix reuse; callers fall back to plain full forward passes.
     """
 
-    def __init__(self, model: Module, segments: list[Module], segment_names: list[str], valid: bool):
+    def __init__(
+        self,
+        model: Module,
+        segments: list[Module],
+        segment_names: list[str],
+        valid: bool,
+        executor: str = "module",
+    ):
         self.model = model
         self.segments = segments
         self.segment_names = segment_names
         self.valid = valid
         self._by_name = {name: index for index, name in enumerate(segment_names)}
+        # Pluggable execution backend (see repro.nn.ir).  The constructor
+        # trusts the name; trace() validates non-default executors bitwise
+        # against the traced output before handing out the plan.
+        self.executor_name = executor
+        self._executor = make_executor(executor, self)
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def trace(cls, model: Module, example_input: np.ndarray) -> "ForwardPlan":
+    def trace(
+        cls, model: Module, example_input: np.ndarray, executor: str = "module"
+    ) -> "ForwardPlan":
         """Trace one forward pass of ``model`` and build its plan.
 
         The instrumented pass runs with whatever hooks are currently
         registered (inactive injection hooks are no-ops), so it must be
         called outside any active fault group.
+
+        Args:
+            model: the model to plan.
+            example_input: one representative input batch.
+            executor: execution backend name (see
+                :func:`repro.nn.ir.register_executor`).  A non-default
+                executor is validated by replaying the traced input and
+                comparing the output bit-exactly; on any mismatch or error
+                the plan silently falls back to the ``"module"`` executor,
+                so a requested executor never changes results.
         """
         root_call, output = cls._record_trace(model, example_input)
         calls = cls._linearize(root_call)
@@ -155,6 +180,13 @@ class ForwardPlan:
         if not valid:
             # Degenerate single-segment plan: resume(0) is a full forward.
             return cls(model, [model], [names.get(id(model), "")], valid=False)
+        if executor != "module":
+            try:
+                candidate = cls(model, segments, segment_names, valid=True, executor=executor)
+                if _bitwise_equal(candidate.resume(0, example_input), output):
+                    return candidate
+            except Exception:
+                pass
         return cls(model, segments, segment_names, valid=True)
 
     @staticmethod
@@ -258,19 +290,13 @@ class ForwardPlan:
         """
         if not 0 <= start <= len(self.segments):
             raise IndexError(f"resume index {start} outside plan of {len(self.segments)} segments")
-        value = activation
-        for segment in self.segments[start:]:
-            value = segment(value)
-        return value
+        return self._executor.run_range(start, len(self.segments), activation)
 
     def run_prefix(self, x, stop: int):
         """Execute segments ``[0, stop)`` and return the boundary value ``a_stop``."""
         if not 0 <= stop <= len(self.segments):
             raise IndexError(f"prefix stop {stop} outside plan of {len(self.segments)} segments")
-        value = x
-        for segment in self.segments[:stop]:
-            value = segment(value)
-        return value
+        return self._executor.run_range(0, stop, x)
 
     def run_recording(
         self,
@@ -303,14 +329,14 @@ class ForwardPlan:
         checkpoints: dict[int, object] = {}
         marks: list[tuple[int, int, int]] | None = [] if monitor is not None else None
         value = x
-        for index, segment in enumerate(self.segments):
+        for index in range(len(self.segments)):
             if index > 0 and (wanted is None or index in wanted):
                 checkpoints[index] = (
                     arena.store(index, value) if arena is not None else _snapshot(value)
                 )
             if marks is not None:
                 marks.append(monitor.event_counts())
-            value = segment(value)
+            value = self._executor.run_segment(index, value)
         if marks is not None:
             marks.append(monitor.event_counts())
         return value, checkpoints, marks

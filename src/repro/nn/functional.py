@@ -244,16 +244,21 @@ def tanh(x: np.ndarray) -> np.ndarray:
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
-    x = np.asarray(x, dtype=np.float32)
+    """Numerically stable softmax along ``axis``.
+
+    The input is made contiguous first: numpy reductions block by memory
+    layout, so canonicalising keeps the result independent of the input's
+    strides (required for executor bit-exactness, see ``docs/ir.md``).
+    """
+    x = np.ascontiguousarray(x, dtype=np.float32)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Log of softmax, computed stably."""
-    x = np.asarray(x, dtype=np.float32)
+    """Log of softmax, computed stably (layout-canonical, like :func:`softmax`)."""
+    x = np.ascontiguousarray(x, dtype=np.float32)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
@@ -289,8 +294,11 @@ def _pool2d(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
     max/mean reduction runs once over the whole window volume instead of a
     python loop per output position.  :func:`_pool2d_reference` keeps the
     naive window loop as the correctness oracle (asserted equal in tests).
+
+    The input is made contiguous first so the windowed reduction order — and
+    with it the result bits — do not depend on the input's memory layout.
     """
-    x = np.asarray(x, dtype=np.float32)
+    x = np.ascontiguousarray(x, dtype=np.float32)
     if x.ndim != 4:
         raise ValueError(f"pooling expects 4D input, got shape {x.shape}")
     kh, kw = _pair(kernel_size)
@@ -312,7 +320,7 @@ def _pool2d(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
 
 def _pool2d_reference(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
     """Naive per-window pooling loop (correctness oracle for :func:`_pool2d`)."""
-    x = np.asarray(x, dtype=np.float32)
+    x = np.ascontiguousarray(x, dtype=np.float32)
     if x.ndim != 4:
         raise ValueError(f"pooling expects 4D input, got shape {x.shape}")
     kh, kw = _pair(kernel_size)
@@ -339,8 +347,8 @@ def _pool2d_reference(x, kernel_size, stride, padding, mode: str) -> np.ndarray:
 
 
 def adaptive_avg_pool2d(x: np.ndarray, output_size: int | tuple[int, int]) -> np.ndarray:
-    """Adaptive average pooling to a fixed output size."""
-    x = np.asarray(x, dtype=np.float32)
+    """Adaptive average pooling to a fixed output size (layout-canonical)."""
+    x = np.ascontiguousarray(x, dtype=np.float32)
     if x.ndim != 4:
         raise ValueError(f"adaptive_avg_pool2d expects 4D input, got shape {x.shape}")
     out_h, out_w = _pair(output_size)

@@ -32,7 +32,9 @@ def full_spec() -> ExperimentSpec:
         protection=ComponentSpec("ranger", {"layer_types": None}),
         backend=BackendSpec("sharded", workers=2, num_shards=3),
         caching=CachingSpec(golden_cache_mb=64, prefix_reuse=False),
-        execution=ExecutionSpec(retries=1, shard_timeout=30.0, backoff=0.25, resume=False),
+        execution=ExecutionSpec(
+            retries=1, shard_timeout=30.0, backoff=0.25, resume=False, executor="fused"
+        ),
         input_shape=(3, 64, 64),
         dl_shuffle=True,
         output_dir=Path("out/dir"),
@@ -141,6 +143,21 @@ class TestValidation:
             ExperimentSpec(execution=ExecutionSpec(shard_timeout=0.0)).validate()
         with pytest.raises(SpecError, match="execution.backoff"):
             ExperimentSpec(execution=ExecutionSpec(backoff=-0.5)).validate()
+
+    def test_executor_validated_against_registry(self):
+        with pytest.raises(SpecError, match="execution.executor"):
+            ExperimentSpec(execution=ExecutionSpec(executor="turbo")).validate()
+        for name in ("module", "interpreter", "fused"):
+            ExperimentSpec(execution=ExecutionSpec(executor=name)).validate()
+
+    def test_executor_round_trips_and_defaults(self):
+        data = full_spec().as_dict()
+        assert data["execution"]["executor"] == "fused"
+        assert ExperimentSpec.from_dict(data).execution.executor == "fused"
+        del data["execution"]["executor"]
+        assert ExperimentSpec.from_dict(data).execution.executor == "interpreter"
+        data["execution"]["executor"] = None
+        assert ExperimentSpec.from_dict(data).execution.executor == "interpreter"
 
     def test_resume_requires_sharded_backend_and_output_dir(self):
         with pytest.raises(SpecError, match="resume requires the 'sharded' backend"):
@@ -251,7 +268,7 @@ class TestBuilder:
             )
             .backend("sharded", workers=2, num_shards=3)
             .caching(golden_cache_mb=64, prefix_reuse=False)
-            .execution(retries=1, shard_timeout=30.0, backoff=0.25)
+            .execution(retries=1, shard_timeout=30.0, backoff=0.25, executor="fused")
             .input_shape(3, 64, 64)
             .shuffle(True)
             .output_dir("out/dir")
